@@ -1,0 +1,335 @@
+// Package repro's root benchmark harness: one benchmark per paper
+// table/figure plus the ablations DESIGN.md calls out. Each benchmark
+// times the experiment's analysis path and reports its headline metric
+// via b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation in one run (see EXPERIMENTS.md for the recorded
+// numbers).
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/obstruction"
+)
+
+// benchEnv lazily builds one shared environment + observation set so
+// individual benchmarks measure analysis, not setup.
+var (
+	benchOnce sync.Once
+	benchErr  error
+	bEnv      *experiments.Env
+	bObs      []core.Observation
+	bData     *ml.Dataset
+)
+
+func benchSetup(b *testing.B) (*experiments.Env, []core.Observation, *ml.Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		bEnv, benchErr = experiments.NewEnv(experiments.Config{Scale: experiments.Medium, Seed: 7})
+		if benchErr != nil {
+			return
+		}
+		bObs, benchErr = bEnv.Observations(400)
+		if benchErr != nil {
+			return
+		}
+		bData, benchErr = core.BuildDataset(bObs)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return bEnv, bObs, bData
+}
+
+// BenchmarkFig2RTTTrace regenerates the Figure 2 artifact: a 2-minute
+// RTT trace at 1 probe / 20 ms with 15-second regime changes.
+func BenchmarkFig2RTTTrace(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var res *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = env.Fig2("Madrid", 2*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.WindowMedians)), "slots")
+}
+
+// BenchmarkStatWindows regenerates the §3 Mann-Whitney analysis and
+// reports the fraction of consecutive windows that differ at p < .05
+// (paper: all of them).
+func BenchmarkStatWindows(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.WindowStats(3 * time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = 0
+		for _, r := range res {
+			frac += r.SignificantFrac
+		}
+		frac /= float64(len(res))
+	}
+	b.ReportMetric(frac*100, "sig%")
+}
+
+// BenchmarkObstructionXOR regenerates the Figure 3 step: XOR two full
+// obstruction-map snapshots and recover the isolated track.
+func BenchmarkObstructionXOR(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	fig3, err := env.Fig3("Iowa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var track int
+	for i := 0; i < b.N; i++ {
+		diff := obstruction.XOR(fig3.Prev, fig3.Cur)
+		track = len(diff.Track())
+	}
+	b.ReportMetric(float64(track), "track_px")
+}
+
+// BenchmarkIdentification regenerates the §4 validation: the full
+// paint → XOR → DTW pipeline across a slot of campaign, reporting
+// accuracy against ground truth (paper pilot: >99%).
+func BenchmarkIdentification(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.IdentValidation(12, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
+
+// BenchmarkFig4AOECDF regenerates Figure 4 and reports the median AOE
+// lift of chosen over available satellites (paper: 22.9 deg).
+func BenchmarkFig4AOECDF(b *testing.B) {
+	env, obs, _ := benchSetup(b)
+	b.ReportAllocs()
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		a, err := env.Fig4(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lift = a.MedianLiftDeg
+	}
+	b.ReportMetric(lift, "lift_deg")
+}
+
+// BenchmarkFig5AzimuthCDF regenerates Figure 5 and reports the mean
+// north-pick fraction over unobstructed sites (paper: 82%).
+func BenchmarkFig5AzimuthCDF(b *testing.B) {
+	env, obs, _ := benchSetup(b)
+	b.ReportAllocs()
+	var north float64
+	for i := 0; i < b.N; i++ {
+		a, err := env.Fig5(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		north = 0
+		n := 0
+		for name, f := range a.NorthChosenFrac {
+			if name == "New York" {
+				continue
+			}
+			north += f
+			n++
+		}
+		north /= float64(n)
+	}
+	b.ReportMetric(north*100, "north%")
+}
+
+// BenchmarkFig6LaunchCorr regenerates Figure 6 and reports the mean
+// Pearson correlation between launch date and pick probability
+// (paper: 0.41).
+func BenchmarkFig6LaunchCorr(b *testing.B) {
+	env, obs, _ := benchSetup(b)
+	b.ReportAllocs()
+	var r float64
+	for i := 0; i < b.N; i++ {
+		a, err := env.Fig6(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = a.MeanPearson
+	}
+	b.ReportMetric(r, "pearson")
+}
+
+// BenchmarkFig7SunlitAOE regenerates Figure 7 / §5.3 and reports the
+// sunlit pick rate in mixed slots (paper: 72.3%).
+func BenchmarkFig7SunlitAOE(b *testing.B) {
+	env, obs, _ := benchSetup(b)
+	b.ReportAllocs()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		a, err := env.Fig7(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = a.SunlitPickRate
+	}
+	b.ReportMetric(rate*100, "sunlit%")
+}
+
+// BenchmarkFig8TopK regenerates Figure 8: train the random forest with
+// the paper's protocol and report holdout top-5 accuracy (paper: 65%
+// vs 22% baseline).
+func BenchmarkFig8TopK(b *testing.B) {
+	env, _, data := benchSetup(b)
+	b.ReportAllocs()
+	var model5, base5 float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.TrainModel(data, experiments.QuickModelConfig(env.Seed+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		model5 = res.ModelTopK[4]
+		base5 = res.BaselineTopK[4]
+	}
+	b.ReportMetric(model5*100, "model_top5%")
+	b.ReportMetric(base5*100, "base_top5%")
+}
+
+// BenchmarkAblationMatcher swaps DTW for the nearest-endpoint matcher
+// and reports its identification accuracy for comparison with
+// BenchmarkIdentification.
+func BenchmarkAblationMatcher(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.IdentValidation(12, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
+
+// BenchmarkAblationPropagator runs the identification pipeline on a
+// constellation propagated with the two-body+J2 baseline instead of
+// SGP4.
+func BenchmarkAblationPropagator(b *testing.B) {
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Small, Seed: 7, UseKeplerJ2: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.IdentValidation(12, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
+
+// BenchmarkAblationModel compares a single CART tree against the
+// forest on the Figure 8 task.
+func BenchmarkAblationModel(b *testing.B) {
+	_, _, data := benchSetup(b)
+	b.ReportAllocs()
+	var top5 float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.TrainModel(data, core.ModelConfig{
+			Folds: 3,
+			Grid:  []ml.ForestConfig{{NumTrees: 1, Tree: ml.TreeConfig{MaxDepth: 10, MaxFeatures: 1 << 30}}},
+			Seed:  7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		top5 = res.ModelTopK[4]
+	}
+	b.ReportMetric(top5*100, "tree_top5%")
+}
+
+// BenchmarkSchedulerAllocate measures one global allocation round
+// (4 terminals) including the constellation snapshot.
+func BenchmarkSchedulerAllocate(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	start := env.Start()
+	for i := 0; i < b.N; i++ {
+		env.Sched.Allocate(start.Add(time.Duration(i) * 15 * time.Second))
+	}
+}
+
+// BenchmarkExtHemisphere regenerates the §8 hemisphere-generalization
+// experiment, reporting Sydney's (negative) north skew.
+func BenchmarkExtHemisphere(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var sydney float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.HemisphereComparison(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Southern {
+			if s.Terminal == "Sydney" {
+				sydney = s.NorthSkew()
+			}
+		}
+	}
+	b.ReportMetric(sydney, "sydney_skew")
+}
+
+// BenchmarkExtGSOAblation measures how much of the north preference
+// the exclusion zone explains.
+func BenchmarkExtGSOAblation(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.GSOAblation(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = res.NorthFracWithGSO, res.NorthFracWithoutGSO
+	}
+	b.ReportMetric(with*100, "north_gso%")
+	b.ReportMetric(without*100, "north_nogso%")
+}
+
+// BenchmarkExtLoadHypothesis runs the §8 load-bound test: model
+// accuracy against the default vs fully deterministic scheduler.
+func BenchmarkExtLoadHypothesis(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var def, det float64
+	for i := 0; i < b.N; i++ {
+		res, err := env.LoadSensitivity(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, det = res.WithHiddenLoad, res.Deterministic
+	}
+	b.ReportMetric(def*100, "default_top5%")
+	b.ReportMetric(det*100, "determ_top5%")
+}

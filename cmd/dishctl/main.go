@@ -1,0 +1,118 @@
+// Command dishctl polls a dishd daemon the way the paper's collection
+// scripts polled starlink-grpc-tools against a real terminal: fetch
+// status, fetch the obstruction map (optionally saving it as a PNG),
+// or request a reset.
+//
+// Usage:
+//
+//	dishctl [-addr 127.0.0.1:9200] status
+//	dishctl [-addr ...] [-png out.png] map
+//	dishctl [-addr ...] [-interval 15s] [-count 4] watch
+//	dishctl [-addr ...] reset
+//
+// (All flags come before the subcommand.)
+//
+// watch polls the map on an interval and reports how many new pixels
+// each snapshot added (the signal the XOR technique isolates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dishrpc"
+	"repro/internal/obstruction"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9200", "dishd address")
+		pngPath  = flag.String("png", "", "map: write the snapshot to this PNG file")
+		interval = flag.Duration("interval", 15*time.Second, "watch: poll interval")
+		count    = flag.Int("count", 4, "watch: number of polls")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dishctl [flags] status|map|watch|reset")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *addr, *pngPath, *interval, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "dishctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd, addr, pngPath string, interval time.Duration, count int) error {
+	c, err := dishrpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("id:        %s\n", st.ID)
+		fmt.Printf("hardware:  %s\n", st.Hardware)
+		fmt.Printf("uptime:    %ds\n", st.UptimeSeconds)
+		fmt.Printf("painted:   %.2f%% of map\n", st.FractionPainted*100)
+		fmt.Printf("snapshot:  %s\n", st.SnapshotTime.Format(time.RFC3339))
+		return nil
+
+	case "map":
+		m, err := c.ObstructionMap()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d painted pixels\n", m.Count())
+		if pngPath != "" {
+			f, err := os.Create(pngPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := m.EncodePNG(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", pngPath)
+		} else {
+			fmt.Print(m.String())
+		}
+		return nil
+
+	case "watch":
+		var prev *obstruction.Map
+		for i := 0; i < count; i++ {
+			m, err := c.ObstructionMap()
+			if err != nil {
+				return err
+			}
+			if prev == nil {
+				fmt.Printf("poll %d: %d pixels (baseline)\n", i, m.Count())
+			} else {
+				diff := obstruction.XOR(prev, m)
+				fmt.Printf("poll %d: %d pixels, %d new since last poll\n", i, m.Count(), diff.Count())
+			}
+			prev = m
+			if i < count-1 {
+				time.Sleep(interval)
+			}
+		}
+		return nil
+
+	case "reset":
+		if err := c.Reset(); err != nil {
+			return err
+		}
+		fmt.Println("dish reset")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,448 @@
+// Command repro regenerates every table and figure from "Making Sense
+// of Constellations" (CoNEXT Companion '23) against the simulated
+// Starlink substrate.
+//
+// Usage:
+//
+//	repro [flags] <experiment>
+//
+// Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 all
+//
+// Flags:
+//
+//	-scale  small|medium|full  constellation density (default medium)
+//	-seed   int                deterministic seed (default 7)
+//	-slots  int                campaign length in 15s slots (default 500)
+//	-dir    string             where fig3 writes PNGs (default ".")
+//	-full-grid                 fig8: run the full hyperparameter grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/capture"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obstruction"
+	"repro/internal/skyplot"
+	"repro/internal/traceio"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "medium", "constellation scale: small|medium|full")
+		seed     = flag.Int64("seed", 7, "deterministic seed")
+		slots    = flag.Int("slots", 500, "campaign length in 15-second slots")
+		dir      = flag.String("dir", ".", "output directory for fig3 PNGs")
+		fullGrid = flag.Bool("full-grid", false, "fig8: search the full hyperparameter grid")
+		saveObs  = flag.String("save-obs", "", "write campaign observations as JSONL to this file")
+		loadObs  = flag.String("load-obs", "", "re-analyze saved observations instead of running a campaign")
+		saveMdl  = flag.String("save-model", "", "fig8: write the trained forest as JSON to this file")
+		pcapPath = flag.String("pcap", "", "fig2: also export the probe trace as a pcap file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|ext|all")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *scale, *seed, *slots, *dir, *fullGrid, *saveObs, *loadObs, *saveMdl, *pcapPath); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what, scale string, seed int64, slots int, dir string, fullGrid bool, saveObs, loadObs, saveMdl, pcapPath string) error {
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# constellation: %d satellites (scale=%s seed=%d)\n\n", env.Cons.Len(), scale, seed)
+
+	var obs []core.Observation
+	needObs := func() error {
+		if obs != nil {
+			return nil
+		}
+		if loadObs != "" {
+			f, err := os.Open(loadObs)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			obs, err = traceio.ReadObservations(f)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# loaded %d observations from %s\n\n", len(obs), loadObs)
+			return nil
+		}
+		fmt.Printf("# running %d-slot oracle campaign over 4 terminals...\n", slots)
+		start := time.Now()
+		obs, err = env.Observations(slots)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d observations in %.1fs\n\n", len(obs), time.Since(start).Seconds())
+		if saveObs != "" {
+			f, err := os.Create(saveObs)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := traceio.WriteObservations(f, obs); err != nil {
+				return err
+			}
+			fmt.Printf("# wrote observations to %s\n\n", saveObs)
+		}
+		return nil
+	}
+
+	experimentsToRun := []string{what}
+	if what == "all" {
+		experimentsToRun = []string{"fig2", "stats", "fig3", "ident", "fig4", "fig5", "fig6", "fig7", "fig8", "ext"}
+	}
+	for _, ex := range experimentsToRun {
+		fmt.Printf("==== %s ====\n", ex)
+		switch ex {
+		case "fig2":
+			err = runFig2(env, pcapPath)
+		case "stats":
+			err = runStats(env)
+		case "fig3":
+			err = runFig3(env, dir)
+		case "ident":
+			err = runIdent(env, dir)
+		case "fig4":
+			if err = needObs(); err == nil {
+				err = runFig4(env, obs)
+			}
+		case "fig5":
+			if err = needObs(); err == nil {
+				err = runFig5(env, obs)
+			}
+		case "fig6":
+			if err = needObs(); err == nil {
+				err = runFig6(env, obs)
+			}
+		case "fig7":
+			if err = needObs(); err == nil {
+				err = runFig7(env, obs)
+			}
+		case "fig8":
+			if err = needObs(); err == nil {
+				err = runFig8(env, obs, fullGrid, saveMdl)
+			}
+		case "ext":
+			err = runExtensions(env, slots)
+		default:
+			return fmt.Errorf("unknown experiment %q", ex)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig2(env *experiments.Env, pcapPath string) error {
+	res, err := env.Fig2("Madrid", 2*time.Minute)
+	if err != nil {
+		return err
+	}
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := capture.Export(f, res.Samples, capture.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d frames to %s\n", n, pcapPath)
+	}
+	fmt.Printf("Figure 2: RTT trace, %s terminal, 1 probe / 20 ms, 2 minutes\n", res.Terminal)
+	fmt.Printf("slot boundaries at seconds past the minute: %v (paper: [12 27 42 57])\n", res.BoundarySeconds)
+	fmt.Printf("per-slot median RTT (ms):")
+	for _, m := range res.WindowMedians {
+		fmt.Printf(" %.1f", m)
+	}
+	fmt.Println()
+	fmt.Println("time_s\trtt_ms\tlost")
+	start := res.Samples[0].T
+	for i, s := range res.Samples {
+		if i%25 != 0 { // print every 0.5 s to keep the table readable
+			continue
+		}
+		lost := 0
+		if s.Lost {
+			lost = 1
+		}
+		fmt.Printf("%.2f\t%.2f\t%d\n", s.T.Sub(start).Seconds(), s.RTTms, lost)
+	}
+	return nil
+}
+
+func runStats(env *experiments.Env) error {
+	res, err := env.WindowStats(5 * time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§3 Mann-Whitney U between consecutive 15 s windows (paper: p < .05 everywhere)")
+	fmt.Println("terminal\twindows\tcompared\tsignificant\tmedian_p")
+	for _, r := range res {
+		fmt.Printf("%s\t%d\t%d\t%.0f%%\t%.2g\n", r.Terminal, r.Windows, r.Comparisons, r.SignificantFrac*100, r.MedianP)
+	}
+	return nil
+}
+
+func runFig3(env *experiments.Env, dir string) error {
+	res, err := env.Fig3("Iowa")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: obstruction maps (written as PNGs)")
+	write := func(name string, m *obstruction.Map) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.EncodePNG(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d painted pixels)\n", path, m.Count())
+		return nil
+	}
+	if err := write("fig3b_prev.png", res.Prev); err != nil {
+		return err
+	}
+	if err := write("fig3c_cur.png", res.Cur); err != nil {
+		return err
+	}
+	if err := write("fig3d_xor.png", res.Diff); err != nil {
+		return err
+	}
+	if err := write("fig3e_filled.png", res.Filled); err != nil {
+		return err
+	}
+	fmt.Printf("recovered polar-plot parameters: center=(%.1f, %.1f) radius=%.1f px\n",
+		res.Recovered.CenterX, res.Recovered.CenterY, res.Recovered.RadiusPx)
+	fmt.Println("(paper: center 62x62 1-indexed = 61x61 0-indexed, radius 45 px)")
+	return nil
+}
+
+func runIdent(env *experiments.Env, dir string) error {
+	fmt.Println("§4 identification validation (DTW vs ground truth; paper pilot: >99% of 500)")
+	// Render one manual-validation sky plot (the paper's pilot-study
+	// view): observed trajectory over all candidates, winner highlighted.
+	term := env.Terminals[0]
+	slot := env.Start().Add(7 * 15 * time.Second)
+	for _, a := range env.Sched.Allocate(slot) {
+		if a.Terminal != term.Name || a.SatID == 0 {
+			continue
+		}
+		observed, err := env.Ident.ServingTrack(a.SatID, term.VantagePoint, slot)
+		if err != nil {
+			return err
+		}
+		cands := env.Ident.CandidatePolarTracks(term.VantagePoint, slot)
+		plot, err := skyplot.Validation(400, observed, cands, a.SatID)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "ident_validation.png")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := plot.EncodePNG(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d candidate tracks, winner %d highlighted)\n", path, len(cands), a.SatID)
+	}
+	res, err := env.IdentValidation(125, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DTW matcher:   attempted=%d correct=%d failed=%d accuracy=%.1f%% median_margin=%.2f\n",
+		res.Attempted, res.Correct, res.Failed, res.Accuracy*100, res.MedianMargin)
+	naive, err := env.IdentValidation(125, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("naive matcher: attempted=%d correct=%d accuracy=%.1f%% (ablation)\n",
+		naive.Attempted, naive.Correct, naive.Accuracy*100)
+	return nil
+}
+
+func runFig4(env *experiments.Env, obs []core.Observation) error {
+	a, err := env.Fig4(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4: AOE of available (dotted) vs selected (solid) satellites")
+	fmt.Printf("median AOE lift (chosen - available), mean over terminals: %.1f deg (paper: 22.9)\n", a.MedianLiftDeg)
+	fmt.Printf("chosen with AOE in [45,90]: %.0f%% (paper: 80%%); available: %.0f%% (paper: 30%%)\n",
+		a.HighBandChosenFrac*100, a.HighBandAvailableFrac*100)
+	printCDFs(a.PerTerminal, "aoe_deg")
+	return nil
+}
+
+func runFig5(env *experiments.Env, obs []core.Observation) error {
+	a, err := env.Fig5(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: azimuths of available (dotted) vs selected (solid) satellites")
+	fmt.Println("terminal\tnorth_chosen\tnorth_avail\tnw_chosen")
+	for _, tc := range a.PerTerminal {
+		name := tc.Terminal
+		fmt.Printf("%s\t%.0f%%\t%.0f%%\t%.1f%%\n", name,
+			a.NorthChosenFrac[name]*100, a.NorthAvailableFrac[name]*100, a.NWChosenFrac[name]*100)
+	}
+	fmt.Println("(paper: north chosen 82% vs available 58%; Ithaca NW 9.7% vs 55.4% elsewhere)")
+	printCDFs(a.PerTerminal, "azimuth_deg")
+	return nil
+}
+
+func runFig6(env *experiments.Env, obs []core.Observation) error {
+	a, err := env.Fig6(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6: probability of picking a satellite from a launch vs launch date")
+	fmt.Printf("mean Pearson r (excluding %v): %.2f (paper: 0.41)\n", a.Excluded, a.MeanPearson)
+	for name, r := range a.Pearson {
+		fmt.Printf("%s: r=%.2f\n", name, r)
+	}
+	fmt.Println("terminal\tlaunch_month\tpicked\tavailable\tratio")
+	for name, bins := range a.PerTerminal {
+		for _, b := range bins {
+			fmt.Printf("%s\t%s\t%d\t%d\t%.4f\n", name, b.Month.Format("2006-01"), b.Picked, b.Available, b.Ratio)
+		}
+	}
+	return nil
+}
+
+func runFig7(env *experiments.Env, obs []core.Observation) error {
+	a, err := env.Fig7(obs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7 / §5.3: sunlit vs dark satellites")
+	fmt.Printf("mixed slots (>=1 sunlit and >=1 dark): %d\n", a.MixedSlots)
+	fmt.Printf("sunlit picked in mixed slots: %.1f%% (paper: 72.3%%)\n", a.SunlitPickRate*100)
+	fmt.Printf("min dark share when a dark satellite was picked: %.0f%% (paper: >= 35%%)\n", a.MinDarkShareWhenDarkPicked*100)
+	fmt.Printf("chosen dark above 60 deg AOE: %.0f%% (paper: 82%%); chosen sunlit: %.0f%% (paper: 54%%)\n",
+		a.HighAOEFracDark*100, a.HighAOEFracSunlit*100)
+	fmt.Printf("median chosen-dark AOE minus chosen-sunlit: %.1f deg (paper: ~29)\n", a.DarkChosenAOELiftDeg)
+	return nil
+}
+
+func runFig8(env *experiments.Env, obs []core.Observation, fullGrid bool, saveMdl string) error {
+	cfg := experiments.QuickModelConfig(env.Seed + 1)
+	if fullGrid {
+		cfg = core.ModelConfig{Seed: env.Seed + 1} // defaults = full protocol
+	}
+	res, err := env.Fig8(obs, cfg)
+	if err != nil {
+		return err
+	}
+	if saveMdl != "" {
+		f, err := os.Create(saveMdl)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Forest.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trained forest to %s\n", saveMdl)
+	}
+	fmt.Println("Figure 8: top-k accuracy, RF model vs most-populated-cluster baseline")
+	fmt.Printf("train rows: %d, holdout rows: %d, best config: %d trees depth %d (CV top-5 %.1f%%)\n",
+		res.TrainRows, res.HoldoutRows, res.BestConfig.Config.NumTrees, res.BestConfig.Config.Tree.MaxDepth, res.BestConfig.Score*100)
+	fmt.Println("k\tmodel\tbaseline")
+	for k := range res.ModelTopK {
+		fmt.Printf("%d\t%.1f%%\t%.1f%%\n", k+1, res.ModelTopK[k]*100, res.BaselineTopK[k]*100)
+	}
+	fmt.Println("(paper: model 65% at k=5 vs baseline 22%)")
+	fmt.Println("top feature importances (gini):")
+	for i, fi := range res.Importances {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-14s %.4f\n", fi.Name, fi.Importance)
+	}
+	return nil
+}
+
+func runExtensions(env *experiments.Env, slots int) error {
+	fmt.Println("§8 extensions: hemisphere generalization, GSO ablation, load hypothesis")
+
+	hemi, err := env.HemisphereComparison(slots / 2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nhemisphere generalization (pick skew = chosen-north − available-north):")
+	fmt.Println("terminal\tlat\tchosen_north\tavail_north\tskew")
+	for _, s := range append(hemi.Northern, hemi.Southern...) {
+		fmt.Printf("%s\t%.1f\t%.2f\t%.2f\t%+.2f\n", s.Terminal, s.LatDeg, s.NorthFrac, s.AvailNorthFrac, s.NorthSkew())
+	}
+	fmt.Println("(expected: positive at unobstructed >40N sites, negative at Sydney, ~0 at the equator;")
+	fmt.Println(" Punta Arenas sits at the 53-degree shell's coverage edge, where the elevation preference dominates)")
+
+	gso, err := env.GSOAblation(slots / 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nGSO ablation: chosen-north fraction %.2f with the exclusion zone, %.2f without (%d slots)\n",
+		gso.NorthFracWithGSO, gso.NorthFracWithoutGSO, gso.Slots)
+
+	load, err := env.LoadSensitivity(slots)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nload hypothesis: model top-5 accuracy %.1f%% with hidden load + noise, %.1f%% without load, %.1f%% fully deterministic (%d rows)\n",
+		load.WithHiddenLoad*100, load.WithoutHiddenLoad*100, load.Deterministic*100, load.Rows)
+	fmt.Printf("                 top-1: %.1f%% / %.1f%% / %.1f%%\n",
+		load.WithHiddenLoadTop1*100, load.WithoutHiddenLoadTop1*100, load.DeterministicTop1*100)
+	fmt.Println("(the paper predicts unobservable factors bound the model; removing them should help)")
+
+	ho, err := env.HandoverAnalysis("Iowa", 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nhandover loss: %.1f%% in the first 300 ms of a slot vs %.1f%% steady state (%d probes)\n",
+		ho.EarlyLoss*100, ho.SteadyLoss*100, ho.Probes)
+
+	mo, err := env.MotionVsReallocation("Iowa", slots/2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmotion vs reallocation (§3 argument): within-slot propagation drift %.3f ms median vs %.3f ms reallocation jump (ratio %.0fx, %d slots, %d handovers)\n",
+		mo.MedianMotionDriftMs, mo.MedianReallocJumpMs, mo.Ratio, mo.Slots, mo.Handovers)
+	return nil
+}
+
+func printCDFs(cdfs []core.TerminalCDF, xName string) {
+	fmt.Printf("terminal\tseries\t%s\tcdf\n", xName)
+	for _, tc := range cdfs {
+		for _, p := range tc.Available {
+			fmt.Printf("%s\tavailable\t%.1f\t%.3f\n", tc.Terminal, p[0], p[1])
+		}
+		for _, p := range tc.Chosen {
+			fmt.Printf("%s\tchosen\t%.1f\t%.3f\n", tc.Terminal, p[0], p[1])
+		}
+	}
+}

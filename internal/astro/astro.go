@@ -1,0 +1,229 @@
+// Package astro implements the coordinate frames and ephemerides the
+// reproduction needs: Greenwich sidereal time, the TEME→ECEF rotation
+// used to ground SGP4 output, geodetic conversions for terminal
+// positions, topocentric look angles (angle of elevation, azimuth,
+// range), a low-precision solar ephemeris, and the Earth-shadow test
+// that decides whether a satellite is sunlit.
+//
+// Precision notes: GMST uses the IAU 1982 series; the solar ephemeris
+// is the low-precision formulation from the Astronomical Almanac
+// (±0.01° over decades), far more accurate than the 15-second
+// scheduling granularity this module is used to study. Polar motion
+// and UT1-UTC are ignored (sub-arcsecond effects).
+package astro
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/tle"
+	"repro/internal/units"
+)
+
+// GMST returns the Greenwich Mean Sidereal Time in radians, in
+// [0, 2π), for the given time (IAU 1982 model).
+func GMST(t time.Time) float64 {
+	jd := tle.JulianDate(t)
+	// Julian centuries from J2000.
+	tut1 := (jd - 2451545.0) / 36525.0
+	secs := 67310.54841 +
+		(876600.0*3600.0+8640184.812866)*tut1 +
+		0.093104*tut1*tut1 -
+		6.2e-6*tut1*tut1*tut1
+	theta := math.Mod(secs, 86400.0) / 240.0 // seconds -> degrees
+	return units.WrapRadTwoPi(units.Deg2Rad(theta))
+}
+
+// TEMEToECEF rotates a position (and optional velocity) vector from
+// the TEME frame (SGP4 output) to the Earth-fixed ECEF frame at time
+// t. It applies the GMST rotation about the Z axis; velocity
+// additionally receives the Earth-rotation term.
+func TEMEToECEF(posTEME, velTEME units.Vec3, t time.Time) (posECEF, velECEF units.Vec3) {
+	theta := GMST(t)
+	c, s := math.Cos(theta), math.Sin(theta)
+	posECEF = units.Vec3{
+		X: c*posTEME.X + s*posTEME.Y,
+		Y: -s*posTEME.X + c*posTEME.Y,
+		Z: posTEME.Z,
+	}
+	// Earth rotation rate, rad/s.
+	const omegaEarth = 7.29211514670698e-5
+	velRot := units.Vec3{
+		X: c*velTEME.X + s*velTEME.Y,
+		Y: -s*velTEME.X + c*velTEME.Y,
+		Z: velTEME.Z,
+	}
+	// Subtract ω × r in the rotating frame.
+	velECEF = units.Vec3{
+		X: velRot.X + omegaEarth*posECEF.Y,
+		Y: velRot.Y - omegaEarth*posECEF.X,
+		Z: velRot.Z,
+	}
+	return posECEF, velECEF
+}
+
+// Geodetic is a position on (or above) the WGS-84 ellipsoid.
+type Geodetic struct {
+	LatDeg float64 // geodetic latitude, degrees, north positive
+	LonDeg float64 // longitude, degrees, east positive
+	AltKm  float64 // height above ellipsoid, km
+}
+
+// ToECEF converts a geodetic position to ECEF coordinates in km.
+func (g Geodetic) ToECEF() units.Vec3 {
+	lat := units.Deg2Rad(g.LatDeg)
+	lon := units.Deg2Rad(g.LonDeg)
+	a := units.EarthRadiusWGS84Km
+	f := units.EarthFlatteningWGS84
+	e2 := f * (2 - f)
+	sinLat := math.Sin(lat)
+	n := a / math.Sqrt(1-e2*sinLat*sinLat)
+	return units.Vec3{
+		X: (n + g.AltKm) * math.Cos(lat) * math.Cos(lon),
+		Y: (n + g.AltKm) * math.Cos(lat) * math.Sin(lon),
+		Z: (n*(1-e2) + g.AltKm) * sinLat,
+	}
+}
+
+// ECEFToGeodetic converts an ECEF position to geodetic coordinates
+// using Bowring's iterative method (converges in a few iterations for
+// any LEO altitude).
+func ECEFToGeodetic(p units.Vec3) Geodetic {
+	a := units.EarthRadiusWGS84Km
+	f := units.EarthFlatteningWGS84
+	e2 := f * (2 - f)
+	lon := math.Atan2(p.Y, p.X)
+	r := math.Hypot(p.X, p.Y)
+	lat := math.Atan2(p.Z, r*(1-e2)) // initial guess
+	var alt float64
+	for i := 0; i < 8; i++ {
+		sinLat := math.Sin(lat)
+		n := a / math.Sqrt(1-e2*sinLat*sinLat)
+		alt = r/math.Cos(lat) - n
+		newLat := math.Atan2(p.Z, r*(1-e2*n/(n+alt)))
+		if math.Abs(newLat-lat) < 1e-12 {
+			lat = newLat
+			break
+		}
+		lat = newLat
+	}
+	return Geodetic{
+		LatDeg: units.Rad2Deg(lat),
+		LonDeg: units.Rad2Deg(lon),
+		AltKm:  alt,
+	}
+}
+
+// LookAngles is a topocentric observation of a satellite from a ground
+// observer: angle of elevation above the horizon, azimuth clockwise
+// from true north, and slant range.
+type LookAngles struct {
+	ElevationDeg float64 // angle of elevation, degrees; negative = below horizon
+	AzimuthDeg   float64 // degrees clockwise from north, [0, 360)
+	RangeKm      float64 // slant range, km
+}
+
+// Observe computes the look angles from an observer (geodetic) to a
+// satellite position in ECEF km.
+func Observe(obs Geodetic, satECEF units.Vec3) LookAngles {
+	obsECEF := obs.ToECEF()
+	d := satECEF.Sub(obsECEF)
+
+	lat := units.Deg2Rad(obs.LatDeg)
+	lon := units.Deg2Rad(obs.LonDeg)
+	sinLat, cosLat := math.Sin(lat), math.Cos(lat)
+	sinLon, cosLon := math.Sin(lon), math.Cos(lon)
+
+	// Rotate the difference vector into the local SEZ (south-east-zenith)
+	// frame.
+	s := sinLat*cosLon*d.X + sinLat*sinLon*d.Y - cosLat*d.Z
+	e := -sinLon*d.X + cosLon*d.Y
+	z := cosLat*cosLon*d.X + cosLat*sinLon*d.Y + sinLat*d.Z
+
+	rng := d.Norm()
+	el := math.Asin(units.Clamp(z/rng, -1, 1))
+	az := math.Atan2(e, -s) // az from north, clockwise
+	return LookAngles{
+		ElevationDeg: units.Rad2Deg(el),
+		AzimuthDeg:   units.WrapDeg360(units.Rad2Deg(az)),
+		RangeKm:      rng,
+	}
+}
+
+// SunPositionECI returns the position of the Sun in an Earth-centered
+// inertial frame (geocentric, mean-equator-of-date — adequate for
+// shadow geometry) in km, using the Astronomical Almanac low-precision
+// formulae.
+func SunPositionECI(t time.Time) units.Vec3 {
+	jd := tle.JulianDate(t)
+	n := jd - 2451545.0
+	// Mean longitude and mean anomaly of the Sun, degrees.
+	l := units.WrapDeg360(280.460 + 0.9856474*n)
+	g := units.Deg2Rad(units.WrapDeg360(357.528 + 0.9856003*n))
+	// Ecliptic longitude.
+	lambda := units.Deg2Rad(l + 1.915*math.Sin(g) + 0.020*math.Sin(2*g))
+	// Distance in AU.
+	rAU := 1.00014 - 0.01671*math.Cos(g) - 0.00014*math.Cos(2*g)
+	// Obliquity of the ecliptic.
+	eps := units.Deg2Rad(23.439 - 0.0000004*n)
+	r := rAU * units.AUKm
+	return units.Vec3{
+		X: r * math.Cos(lambda),
+		Y: r * math.Cos(eps) * math.Sin(lambda),
+		Z: r * math.Sin(eps) * math.Sin(lambda),
+	}
+}
+
+// SunPositionECEF returns the Sun position rotated into the
+// Earth-fixed frame at time t.
+func SunPositionECEF(t time.Time) units.Vec3 {
+	p, _ := TEMEToECEF(SunPositionECI(t), units.Vec3{}, t)
+	return p
+}
+
+// IsSunlit reports whether a satellite at the given ECI position (km)
+// is illuminated by the Sun at time t, using a conical Earth shadow
+// model (umbra only). Positions just inside the penumbra count as
+// sunlit, matching the operational meaning ("solar panels produce
+// power").
+func IsSunlit(satECI units.Vec3, t time.Time) bool {
+	sun := SunPositionECI(t)
+	return isSunlitGeom(satECI, sun)
+}
+
+// isSunlitGeom implements the umbra test given explicit satellite and
+// Sun positions, both geocentric km.
+func isSunlitGeom(sat, sun units.Vec3) bool {
+	sunDir := sun.Unit()
+	// Component of satellite position along the anti-solar axis.
+	along := sat.Dot(sunDir)
+	if along >= 0 {
+		// Satellite is on the day side of the Earth's center plane.
+		return true
+	}
+	// Perpendicular distance from the shadow axis.
+	axisPoint := sunDir.Scale(along)
+	perp := sat.Sub(axisPoint).Norm()
+
+	// Umbra cone: apex beyond Earth on the anti-solar side.
+	sunDist := sun.Norm()
+	// Half-angle of the umbra cone.
+	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
+	// Distance from Earth's center to the umbra apex.
+	apexDist := units.EarthRadiusKm / math.Sin(alpha)
+	// Radius of the umbra at the satellite's along-axis distance.
+	behind := -along // positive km behind Earth's center
+	if behind >= apexDist {
+		return true // beyond the umbra apex
+	}
+	umbraRadius := (apexDist - behind) * math.Tan(alpha)
+	return perp > umbraRadius
+}
+
+// SolarElevationDeg returns the Sun's elevation angle above the local
+// horizon for a geodetic observer — used to distinguish local day from
+// night in feature construction.
+func SolarElevationDeg(obs Geodetic, t time.Time) float64 {
+	sunECEF := SunPositionECEF(t)
+	return Observe(obs, sunECEF).ElevationDeg
+}

@@ -1,0 +1,137 @@
+// Package capture exports a simulated measurement trace as a packet
+// capture: each probe becomes an Ethernet/IPv4/UDP request frame at
+// its send time and (unless lost) a reply frame one RTT later, so a
+// netsim trace opens directly in Wireshark/tcpdump for the same
+// inter-packet analysis the paper ran on live traffic.
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+// Config names the synthetic endpoints.
+type Config struct {
+	TerminalIP packet.IP4 // default 100.64.0.10 (CGNAT, like real dishes)
+	ServerIP   packet.IP4 // default 100.64.0.1 (the PoP server)
+	SrcPort    uint16     // default 40000
+	DstPort    uint16     // default 9300
+}
+
+func (c *Config) applyDefaults() {
+	if c.TerminalIP == (packet.IP4{}) {
+		c.TerminalIP = packet.IP4{100, 64, 0, 10}
+	}
+	if c.ServerIP == (packet.IP4{}) {
+		c.ServerIP = packet.IP4{100, 64, 0, 1}
+	}
+	if c.SrcPort == 0 {
+		c.SrcPort = 40000
+	}
+	if c.DstPort == 0 {
+		c.DstPort = 9300
+	}
+}
+
+var (
+	terminalMAC = packet.MAC{0x02, 0x5a, 0x11, 0x00, 0x00, 0x01}
+	routerMAC   = packet.MAC{0x02, 0x5a, 0x11, 0x00, 0x00, 0xFE}
+)
+
+// payloadLen mirrors the irtt probe size.
+const payloadLen = 33
+
+// Export writes the trace as a pcap stream. Reply frames interleave
+// with later requests in correct timestamp order. Returns the number
+// of frames written.
+func Export(w io.Writer, samples []netsim.Sample, cfg Config) (int, error) {
+	cfg.applyDefaults()
+
+	type frame struct {
+		ts   time.Time
+		data []byte
+	}
+	frames := make([]frame, 0, len(samples)*2)
+	for i, s := range samples {
+		payload := make([]byte, payloadLen)
+		copy(payload, "IRTT")
+		payload[4] = 1
+		binary.BigEndian.PutUint64(payload[5:13], uint64(i))
+		req, err := packet.BuildUDPFrame(terminalMAC, routerMAC,
+			cfg.TerminalIP, cfg.ServerIP, cfg.SrcPort, cfg.DstPort, uint16(i), payload)
+		if err != nil {
+			return 0, fmt.Errorf("capture: probe %d: %w", i, err)
+		}
+		frames = append(frames, frame{ts: s.T, data: req})
+		if s.Lost {
+			continue
+		}
+		reply := make([]byte, payloadLen)
+		copy(reply, "IRTT")
+		reply[4] = 2
+		binary.BigEndian.PutUint64(reply[5:13], uint64(i))
+		rep, err := packet.BuildUDPFrame(routerMAC, terminalMAC,
+			cfg.ServerIP, cfg.TerminalIP, cfg.DstPort, cfg.SrcPort, uint16(i), reply)
+		if err != nil {
+			return 0, fmt.Errorf("capture: reply %d: %w", i, err)
+		}
+		frames = append(frames, frame{
+			ts:   s.T.Add(time.Duration(s.RTTms * float64(time.Millisecond))),
+			data: rep,
+		})
+	}
+	sort.SliceStable(frames, func(i, j int) bool { return frames[i].ts.Before(frames[j].ts) })
+
+	pw := pcap.NewWriter(w, pcap.LinkTypeEthernet)
+	for _, f := range frames {
+		if err := pw.WritePacket(f.ts, f.data); err != nil {
+			return 0, err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return 0, err
+	}
+	return len(frames), nil
+}
+
+// RTTsFromCapture recovers per-probe RTTs from an exported capture by
+// matching request/reply sequence numbers — the inverse of Export,
+// and a check that the capture carries the same measurement content
+// as the trace it came from.
+func RTTsFromCapture(r io.Reader) (map[uint64]time.Duration, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sent := map[uint64]time.Time{}
+	rtts := map[uint64]time.Duration{}
+	for {
+		pkt, err := pr.Next()
+		if err == io.EOF {
+			return rtts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		_, _, _, payload, err := packet.ParseUDPFrame(pkt.Data)
+		if err != nil || len(payload) < 13 || string(payload[:4]) != "IRTT" {
+			continue
+		}
+		seq := binary.BigEndian.Uint64(payload[5:13])
+		switch payload[4] {
+		case 1:
+			sent[seq] = pkt.Timestamp
+		case 2:
+			if t0, ok := sent[seq]; ok {
+				rtts[seq] = pkt.Timestamp.Sub(t0)
+			}
+		}
+	}
+}

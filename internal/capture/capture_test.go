@@ -1,0 +1,111 @@
+package capture
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+)
+
+func trace() []netsim.Sample {
+	base := time.Date(2023, 3, 1, 1, 0, 12, 0, time.UTC)
+	return []netsim.Sample{
+		{T: base, RTTms: 30.5, SatID: 1},
+		{T: base.Add(20 * time.Millisecond), RTTms: 31.25, SatID: 1},
+		{T: base.Add(40 * time.Millisecond), Lost: true},
+		{T: base.Add(60 * time.Millisecond), RTTms: 28.0, SatID: 2},
+	}
+}
+
+func TestExportFrameCount(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := Export(&buf, trace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 requests + 3 replies (one probe lost).
+	if n != 7 {
+		t.Fatalf("wrote %d frames, want 7", n)
+	}
+}
+
+func TestExportRecoversRTTs(t *testing.T) {
+	samples := trace()
+	var buf bytes.Buffer
+	if _, err := Export(&buf, samples, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	rtts, err := RTTsFromCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtts) != 3 {
+		t.Fatalf("recovered %d rtts, want 3", len(rtts))
+	}
+	for i, s := range samples {
+		if s.Lost {
+			if _, ok := rtts[uint64(i)]; ok {
+				t.Errorf("lost probe %d has an RTT", i)
+			}
+			continue
+		}
+		got := float64(rtts[uint64(i)]) / float64(time.Millisecond)
+		// pcap timestamps are microsecond-granular.
+		if math.Abs(got-s.RTTms) > 0.01 {
+			t.Errorf("probe %d: rtt %v ms, want %v", i, got, s.RTTms)
+		}
+	}
+}
+
+func TestExportTimestampOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Export(&buf, trace(), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-read at the pcap layer and require monotone non-decreasing
+	// timestamps even though replies interleave with later requests.
+	r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 7 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Timestamp.Before(pkts[i-1].Timestamp) {
+			t.Fatalf("timestamps out of order at %d: %v < %v", i, pkts[i].Timestamp, pkts[i-1].Timestamp)
+		}
+	}
+}
+
+func TestExportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := Export(&buf, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("wrote %d frames for empty trace", n)
+	}
+	// Still a valid capture file.
+	rtts, err := RTTsFromCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtts) != 0 {
+		t.Error("rtts from empty capture")
+	}
+}
+
+func TestRTTsFromGarbage(t *testing.T) {
+	if _, err := RTTsFromCapture(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,290 @@
+// Package clocksync implements the clock-offset estimation the
+// paper's methodology depends on: the vantage-point Raspberry Pis and
+// the PoP servers were "routinely synchronized using NTP" so that
+// millisecond-granularity RTT measurements stay meaningful.
+//
+// The protocol is the classic four-timestamp exchange over UDP
+// (SNTP-style, not wire-compatible with RFC 5905 — this repository
+// speaks its own compact format):
+//
+//	t1   client transmit
+//	t2   server receive
+//	t3   server transmit
+//	t4   client receive
+//
+//	offset = ((t2 - t1) + (t3 - t4)) / 2
+//	delay  =  (t4 - t1) - (t3 - t2)
+//
+// A Sync run sends several probes and keeps the offset from the
+// minimum-delay exchange — the standard filter against queueing noise.
+//
+// Wire format (fixed 37 bytes):
+//
+//	offset size  field
+//	0      4     magic "CSYN"
+//	4      1     type (1 = request, 2 = reply)
+//	5      8     t1, client transmit unix nanos
+//	13     8     t2, server receive unix nanos (reply only)
+//	21     8     t3, server transmit unix nanos (reply only)
+//	29     8     checksum: FNV-1a of bytes [0,29)
+package clocksync
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"time"
+)
+
+const packetSize = 37
+
+var magic = [4]byte{'C', 'S', 'Y', 'N'}
+
+const (
+	typeRequest = 1
+	typeReply   = 2
+)
+
+// ErrBadPacket reports a malformed or foreign datagram.
+var ErrBadPacket = errors.New("clocksync: malformed packet")
+
+// ErrNoReplies is returned when a Sync run gets no valid replies.
+var ErrNoReplies = errors.New("clocksync: no replies")
+
+type packet struct {
+	Type byte
+	T1   int64
+	T2   int64
+	T3   int64
+}
+
+func (p *packet) marshal(buf []byte) []byte {
+	if cap(buf) < packetSize {
+		buf = make([]byte, packetSize)
+	}
+	buf = buf[:packetSize]
+	copy(buf[0:4], magic[:])
+	buf[4] = p.Type
+	binary.BigEndian.PutUint64(buf[5:13], uint64(p.T1))
+	binary.BigEndian.PutUint64(buf[13:21], uint64(p.T2))
+	binary.BigEndian.PutUint64(buf[21:29], uint64(p.T3))
+	binary.BigEndian.PutUint64(buf[29:37], fnvSum(buf[:29]))
+	return buf
+}
+
+func parsePacket(b []byte) (packet, error) {
+	if len(b) != packetSize {
+		return packet{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return packet{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if binary.BigEndian.Uint64(b[29:37]) != fnvSum(b[:29]) {
+		return packet{}, fmt.Errorf("%w: bad checksum", ErrBadPacket)
+	}
+	p := packet{
+		Type: b[4],
+		T1:   int64(binary.BigEndian.Uint64(b[5:13])),
+		T2:   int64(binary.BigEndian.Uint64(b[13:21])),
+		T3:   int64(binary.BigEndian.Uint64(b[21:29])),
+	}
+	if p.Type != typeRequest && p.Type != typeReply {
+		return packet{}, fmt.Errorf("%w: type %d", ErrBadPacket, p.Type)
+	}
+	return p, nil
+}
+
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Clock abstracts the local clock so tests can inject skew. Nil means
+// time.Now.
+type Clock func() time.Time
+
+// Server answers time queries using its clock.
+type Server struct {
+	conn  *net.UDPConn
+	clock Clock
+}
+
+// NewServer listens on addr. clock == nil uses the system clock.
+func NewServer(addr string, clock Clock) (*Server, error) {
+	if clock == nil {
+		clock = time.Now
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: listen %q: %w", addr, err)
+	}
+	return &Server{conn: conn, clock: clock}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close shuts the listener.
+func (s *Server) Close() error { return s.conn.Close() }
+
+// Serve answers until ctx is canceled or the connection closes.
+func (s *Server) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.conn.Close()
+	}()
+	buf := make([]byte, 2048)
+	out := make([]byte, packetSize)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("clocksync: read: %w", err)
+		}
+		recv := s.clock()
+		p, err := parsePacket(buf[:n])
+		if err != nil || p.Type != typeRequest {
+			continue
+		}
+		reply := packet{Type: typeReply, T1: p.T1, T2: recv.UnixNano(), T3: s.clock().UnixNano()}
+		if _, err := s.conn.WriteToUDP(reply.marshal(out), peer); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// Measurement is one completed four-timestamp exchange.
+type Measurement struct {
+	Offset time.Duration // server clock minus client clock
+	Delay  time.Duration // round-trip network delay
+}
+
+// Result summarizes a Sync run.
+type Result struct {
+	// Best is the measurement with the smallest delay — the standard
+	// NTP-style filter.
+	Best Measurement
+	// All holds every completed exchange, in probe order.
+	All []Measurement
+}
+
+// Config controls a Sync run.
+type Config struct {
+	// Probes is the number of exchanges. Default 8.
+	Probes int
+	// Interval between probes. Default 50 ms.
+	Interval time.Duration
+	// Timeout per probe. Default 500 ms.
+	Timeout time.Duration
+	// Clock is the local clock; nil uses time.Now.
+	Clock Clock
+}
+
+func (c *Config) applyDefaults() {
+	if c.Probes <= 0 {
+		c.Probes = 8
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Sync measures the offset between the local clock and the server's.
+func Sync(ctx context.Context, addr string, cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: dial %q: %w", addr, err)
+	}
+	defer conn.Close()
+
+	res := &Result{}
+	buf := make([]byte, 2048)
+	sendBuf := make([]byte, packetSize)
+	for i := 0; i < cfg.Probes; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		t1 := cfg.Clock()
+		req := packet{Type: typeRequest, T1: t1.UnixNano()}
+		if _, err := conn.Write(req.marshal(sendBuf)); err != nil {
+			return nil, fmt.Errorf("clocksync: send: %w", err)
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.Timeout))
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				break // timeout: lost probe
+			}
+			t4 := cfg.Clock()
+			p, err := parsePacket(buf[:n])
+			if err != nil || p.Type != typeReply || p.T1 != t1.UnixNano() {
+				continue // stale or foreign datagram; keep reading
+			}
+			m := Measurement{
+				Offset: (time.Duration(p.T2-p.T1) + time.Duration(p.T3-t4.UnixNano())) / 2,
+				Delay:  time.Duration(t4.UnixNano()-p.T1) - time.Duration(p.T3-p.T2),
+			}
+			res.All = append(res.All, m)
+			break
+		}
+		if i < cfg.Probes-1 {
+			select {
+			case <-time.After(cfg.Interval):
+			case <-ctx.Done():
+			}
+		}
+	}
+	if len(res.All) == 0 {
+		return nil, ErrNoReplies
+	}
+	res.Best = res.All[0]
+	for _, m := range res.All[1:] {
+		if m.Delay < res.Best.Delay {
+			res.Best = m
+		}
+	}
+	return res, nil
+}
+
+// DisciplinedClock wraps a local clock with a measured offset so
+// timestamps can be expressed in the server's timebase — what the
+// study's measurement boxes effectively did via NTP.
+type DisciplinedClock struct {
+	local  Clock
+	offset time.Duration
+}
+
+// NewDisciplinedClock builds a clock correcting local by offset.
+func NewDisciplinedClock(local Clock, offset time.Duration) *DisciplinedClock {
+	if local == nil {
+		local = time.Now
+	}
+	return &DisciplinedClock{local: local, offset: offset}
+}
+
+// Now returns the corrected time.
+func (d *DisciplinedClock) Now() time.Time { return d.local().Add(d.offset) }
+
+// Offset returns the applied correction.
+func (d *DisciplinedClock) Offset() time.Duration { return d.offset }

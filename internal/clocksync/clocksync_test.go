@@ -1,0 +1,160 @@
+package clocksync
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, clock Clock) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+	return srv
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := packet{Type: typeReply, T1: 111, T2: 222, T3: 333}
+	q, err := parsePacket(p.marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip %+v -> %+v", p, q)
+	}
+}
+
+func TestPacketValidation(t *testing.T) {
+	p := packet{Type: typeRequest, T1: 1}
+	buf := p.marshal(nil)
+	if _, err := parsePacket(buf[:10]); !errors.Is(err, ErrBadPacket) {
+		t.Error("short accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, err := parsePacket(bad); !errors.Is(err, ErrBadPacket) {
+		t.Error("bad magic accepted")
+	}
+	flip := append([]byte(nil), buf...)
+	flip[7] ^= 1
+	if _, err := parsePacket(flip); !errors.Is(err, ErrBadPacket) {
+		t.Error("corruption accepted")
+	}
+}
+
+func TestSyncZeroOffsetLoopback(t *testing.T) {
+	srv := startServer(t, nil)
+	res, err := Sync(context.Background(), srv.Addr().String(), Config{Probes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same clock on both sides: offset must be tiny relative to delay.
+	if off := res.Best.Offset.Abs(); off > 5*time.Millisecond {
+		t.Errorf("loopback offset = %v", off)
+	}
+	if res.Best.Delay <= 0 || res.Best.Delay > 100*time.Millisecond {
+		t.Errorf("loopback delay = %v", res.Best.Delay)
+	}
+	if len(res.All) == 0 {
+		t.Fatal("no measurements")
+	}
+}
+
+func TestSyncRecoversInjectedSkew(t *testing.T) {
+	const skew = 1500 * time.Millisecond
+	srv := startServer(t, func() time.Time { return time.Now().Add(skew) })
+	res, err := Sync(context.Background(), srv.Addr().String(), Config{Probes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (res.Best.Offset - skew).Abs(); diff > 10*time.Millisecond {
+		t.Errorf("recovered offset %v, want ~%v", res.Best.Offset, skew)
+	}
+	// Negative skew too.
+	srv2 := startServer(t, func() time.Time { return time.Now().Add(-skew) })
+	res, err = Sync(context.Background(), srv2.Addr().String(), Config{Probes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (res.Best.Offset + skew).Abs(); diff > 10*time.Millisecond {
+		t.Errorf("recovered negative offset %v, want ~%v", res.Best.Offset, -skew)
+	}
+}
+
+func TestSyncBestIsMinDelay(t *testing.T) {
+	srv := startServer(t, nil)
+	res, err := Sync(context.Background(), srv.Addr().String(), Config{Probes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.All {
+		if m.Delay < res.Best.Delay {
+			t.Errorf("Best.Delay %v not minimal (found %v)", res.Best.Delay, m.Delay)
+		}
+	}
+}
+
+func TestSyncNoServer(t *testing.T) {
+	// Dial succeeds on UDP; all probes must time out.
+	_, err := Sync(context.Background(), "127.0.0.1:1", Config{Probes: 2, Timeout: 50 * time.Millisecond})
+	if !errors.Is(err, ErrNoReplies) {
+		t.Errorf("err = %v, want ErrNoReplies", err)
+	}
+}
+
+func TestSyncContextCancel(t *testing.T) {
+	srv := startServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Canceled before start: at most one probe goes out; result may
+	// still carry it. Just require no hang.
+	done := make(chan struct{})
+	go func() {
+		Sync(ctx, srv.Addr().String(), Config{Probes: 100, Interval: time.Second})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Sync hung after cancel")
+	}
+}
+
+func TestDisciplinedClock(t *testing.T) {
+	base := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	local := func() time.Time { return base }
+	d := NewDisciplinedClock(local, 250*time.Millisecond)
+	if got := d.Now(); !got.Equal(base.Add(250 * time.Millisecond)) {
+		t.Errorf("Now = %v", got)
+	}
+	if d.Offset() != 250*time.Millisecond {
+		t.Error("Offset")
+	}
+	// nil local falls back to time.Now.
+	d2 := NewDisciplinedClock(nil, 0)
+	if d2.Now().IsZero() {
+		t.Error("nil local clock broken")
+	}
+}
+
+func TestEndToEndDiscipline(t *testing.T) {
+	// Full workflow: a skewed "server" clock, measure, discipline the
+	// local clock, verify both now agree.
+	const skew = -700 * time.Millisecond
+	serverClock := func() time.Time { return time.Now().Add(skew) }
+	srv := startServer(t, serverClock)
+	res, err := Sync(context.Background(), srv.Addr().String(), Config{Probes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disciplined := NewDisciplinedClock(nil, res.Best.Offset)
+	if diff := disciplined.Now().Sub(serverClock()).Abs(); diff > 15*time.Millisecond {
+		t.Errorf("disciplined clock disagrees with server by %v", diff)
+	}
+}

@@ -1,0 +1,348 @@
+// Package constellation synthesizes a Starlink-like LEO constellation:
+// Walker-delta shells matching the publicly filed Starlink shell
+// design, satellites grouped into launch batches with realistic launch
+// dates, and TLE generation so the rest of the system can treat the
+// synthetic constellation exactly like a CelesTrak feed.
+//
+// This package substitutes for the live constellation the paper
+// measured (see DESIGN.md §2): the geometry that drives every analysis
+// — how many satellites are in view, their angle-of-elevation and
+// azimuth distributions — is fixed by the shell design, which is
+// public.
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/astro"
+	"repro/internal/sgp4"
+	"repro/internal/tle"
+	"repro/internal/units"
+)
+
+// Shell describes one Walker-delta shell: a set of evenly spaced
+// circular-orbit planes at a common altitude and inclination.
+type Shell struct {
+	Name           string
+	AltitudeKm     float64
+	InclinationDeg float64
+	Planes         int
+	SatsPerPlane   int
+	// PhasingF is the Walker phasing parameter: the slot offset (in
+	// units of 360/(Planes*SatsPerPlane) degrees) between adjacent
+	// planes.
+	PhasingF int
+}
+
+// StarlinkShells returns the four first-generation Starlink shells as
+// filed with the FCC (counts rounded to the operational design).
+func StarlinkShells() []Shell {
+	return []Shell{
+		{Name: "shell1", AltitudeKm: 550, InclinationDeg: 53.0, Planes: 72, SatsPerPlane: 22, PhasingF: 17},
+		{Name: "shell2", AltitudeKm: 540, InclinationDeg: 53.2, Planes: 72, SatsPerPlane: 22, PhasingF: 17},
+		{Name: "shell3", AltitudeKm: 570, InclinationDeg: 70.0, Planes: 36, SatsPerPlane: 20, PhasingF: 11},
+		{Name: "shell4", AltitudeKm: 560, InclinationDeg: 97.6, Planes: 6, SatsPerPlane: 58, PhasingF: 1},
+	}
+}
+
+// Satellite is one member of the constellation with identity and
+// launch metadata alongside its propagator.
+type Satellite struct {
+	ID         int       // NORAD-style catalog number (unique)
+	Name       string    // e.g. "STARLINK-1234"
+	Shell      string    // shell name
+	Launch     time.Time // launch date (start of the batch's month)
+	LaunchIdx  int       // index of the launch batch, 0 = oldest
+	TLE        *tle.TLE
+	Propagator sgp4.Ephemeris
+}
+
+// AgeYears returns the satellite age in years at time t.
+func (s *Satellite) AgeYears(t time.Time) float64 {
+	return t.Sub(s.Launch).Hours() / (24 * 365.25)
+}
+
+// Constellation is the full set of satellites plus lookup indices.
+type Constellation struct {
+	Sats  []*Satellite
+	byID  map[int]*Satellite
+	Epoch time.Time // TLE epoch shared by all satellites
+}
+
+// Config controls constellation synthesis.
+type Config struct {
+	Shells []Shell   // shells to build; default StarlinkShells()
+	Epoch  time.Time // TLE epoch; default 2023-03-01
+	// LaunchStart/LaunchEnd bound the synthetic launch-batch dates
+	// assigned round-robin across planes. Defaults: 2019-05 .. 2023-02.
+	LaunchStart time.Time
+	LaunchEnd   time.Time
+	// BatchSize is the number of satellites per launch batch
+	// (Falcon 9 Starlink launches carry ~60). Default 60.
+	BatchSize int
+	// Seed drives the small random perturbations applied to mean
+	// anomaly and RAAN so planes are not perfectly regular.
+	Seed int64
+	// JitterDeg is the 1-sigma perturbation in degrees. Default 0.15.
+	JitterDeg float64
+	// UseKeplerJ2 selects the ablation propagator instead of SGP4.
+	UseKeplerJ2 bool
+	// FirstCatalogNum numbers satellites sequentially from here.
+	// Default 44714 (the first Starlink v1.0 catalog number).
+	FirstCatalogNum int
+}
+
+func (c *Config) applyDefaults() {
+	if len(c.Shells) == 0 {
+		c.Shells = StarlinkShells()
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.LaunchStart.IsZero() {
+		c.LaunchStart = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.LaunchEnd.IsZero() {
+		c.LaunchEnd = time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 60
+	}
+	if c.JitterDeg == 0 {
+		c.JitterDeg = 0.15
+	}
+	if c.FirstCatalogNum == 0 {
+		c.FirstCatalogNum = 44714
+	}
+}
+
+// meanMotionRevDay converts a circular-orbit altitude to mean motion.
+func meanMotionRevDay(altKm float64) float64 {
+	a := units.EarthRadiusKm + altKm
+	periodSec := 2 * math.Pi * math.Sqrt(a*a*a/units.MuEarth)
+	return units.SecondsPerDay / periodSec
+}
+
+// New builds a constellation. Satellites are assigned launch batches
+// in an interleaved order (as in reality, where a single launch fills
+// gaps across planes), so every plane holds a mix of ages.
+func New(cfg Config) (*Constellation, error) {
+	cfg.applyDefaults()
+	if cfg.LaunchEnd.Before(cfg.LaunchStart) {
+		return nil, fmt.Errorf("constellation: launch window ends (%v) before it starts (%v)", cfg.LaunchEnd, cfg.LaunchStart)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var all []*Satellite
+	catalog := cfg.FirstCatalogNum
+	for _, sh := range cfg.Shells {
+		if sh.Planes <= 0 || sh.SatsPerPlane <= 0 {
+			return nil, fmt.Errorf("constellation: shell %q has non-positive geometry %dx%d", sh.Name, sh.Planes, sh.SatsPerPlane)
+		}
+		mm := meanMotionRevDay(sh.AltitudeKm)
+		total := sh.Planes * sh.SatsPerPlane
+		for plane := 0; plane < sh.Planes; plane++ {
+			raan := 360.0 * float64(plane) / float64(sh.Planes)
+			for slot := 0; slot < sh.SatsPerPlane; slot++ {
+				ma := 360.0*float64(slot)/float64(sh.SatsPerPlane) +
+					360.0*float64(sh.PhasingF)*float64(plane)/float64(total)
+				t := &tle.TLE{
+					CatalogNum:     catalog,
+					IntlDesig:      fmt.Sprintf("%02d%03dA", cfg.LaunchStart.Year()%100, 1+catalog%999),
+					Epoch:          cfg.Epoch,
+					BStar:          0.0001,
+					InclinationDeg: sh.InclinationDeg,
+					RAANDeg:        units.WrapDeg360(raan + rng.NormFloat64()*cfg.JitterDeg),
+					Eccentricity:   0.0001,
+					ArgPerigeeDeg:  90,
+					MeanAnomalyDeg: units.WrapDeg360(ma + rng.NormFloat64()*cfg.JitterDeg),
+					MeanMotion:     mm,
+				}
+				var eph sgp4.Ephemeris
+				var err error
+				if cfg.UseKeplerJ2 {
+					eph, err = sgp4.NewKeplerJ2(t)
+				} else {
+					eph, err = sgp4.New(t)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("constellation: shell %q plane %d slot %d: %w", sh.Name, plane, slot, err)
+				}
+				all = append(all, &Satellite{
+					ID:         catalog,
+					Name:       fmt.Sprintf("STARLINK-%d", catalog-cfg.FirstCatalogNum+1000),
+					Shell:      sh.Name,
+					TLE:        t,
+					Propagator: eph,
+				})
+				catalog++
+			}
+		}
+	}
+
+	assignLaunchBatches(all, cfg, rng)
+
+	c := &Constellation{Sats: all, Epoch: cfg.Epoch, byID: make(map[int]*Satellite, len(all))}
+	for _, s := range all {
+		c.byID[s.ID] = s
+	}
+	return c, nil
+}
+
+// assignLaunchBatches spreads launch dates across the constellation.
+// Satellites are shuffled, then filled batch by batch with
+// monthly-spaced dates, mimicking how real launches interleave new
+// hardware into existing planes.
+func assignLaunchBatches(sats []*Satellite, cfg Config, rng *rand.Rand) {
+	order := rng.Perm(len(sats))
+	nBatches := (len(sats) + cfg.BatchSize - 1) / cfg.BatchSize
+	window := cfg.LaunchEnd.Sub(cfg.LaunchStart)
+	for i, idx := range order {
+		batch := i / cfg.BatchSize
+		var frac float64
+		if nBatches > 1 {
+			frac = float64(batch) / float64(nBatches-1)
+		}
+		date := cfg.LaunchStart.Add(time.Duration(frac * float64(window)))
+		// Snap to the first day of the month, matching the paper's
+		// year-month binning.
+		date = time.Date(date.Year(), date.Month(), 1, 0, 0, 0, 0, time.UTC)
+		sats[idx].Launch = date
+		sats[idx].LaunchIdx = batch
+	}
+}
+
+// ByID returns the satellite with the given catalog number, or nil.
+func (c *Constellation) ByID(id int) *Satellite { return c.byID[id] }
+
+// Len returns the number of satellites.
+func (c *Constellation) Len() int { return len(c.Sats) }
+
+// Visible is one satellite currently above an observer's horizon mask,
+// with its look angles and sunlit state at the query time.
+type Visible struct {
+	Sat    *Satellite
+	Look   astro.LookAngles
+	Sunlit bool
+}
+
+// SatState is one satellite's propagated state at a snapshot instant.
+type SatState struct {
+	Sat    *Satellite
+	ECEF   units.Vec3
+	Sunlit bool
+}
+
+// Snapshot propagates the whole constellation once for time t.
+// Satellites whose propagation fails (decayed/stale elements) are
+// skipped, mirroring how a TLE pipeline tolerates bad elements. Use
+// ObserveFrom to query the same snapshot from several observers
+// without re-propagating.
+func (c *Constellation) Snapshot(t time.Time) []SatState {
+	sun := astro.SunPositionECI(t)
+	out := make([]SatState, 0, len(c.Sats))
+	for _, s := range c.Sats {
+		st, err := s.Propagator.PropagateAt(t)
+		if err != nil {
+			continue
+		}
+		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
+		out = append(out, SatState{
+			Sat:    s,
+			ECEF:   posECEF,
+			Sunlit: sunlitGeocentric(st.Pos, sun),
+		})
+	}
+	return out
+}
+
+// ObserveFrom filters a snapshot to the satellites above minElevDeg
+// for the observer, sorted by descending elevation.
+func ObserveFrom(obs astro.Geodetic, snap []SatState, minElevDeg float64) []Visible {
+	var out []Visible
+	for _, st := range snap {
+		la := astro.Observe(obs, st.ECEF)
+		if la.ElevationDeg < minElevDeg {
+			continue
+		}
+		out = append(out, Visible{Sat: st.Sat, Look: la, Sunlit: st.Sunlit})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Look.ElevationDeg > out[j].Look.ElevationDeg
+	})
+	return out
+}
+
+// FieldOfView returns all satellites above minElevDeg for the observer
+// at time t, sorted by descending elevation.
+func (c *Constellation) FieldOfView(obs astro.Geodetic, t time.Time, minElevDeg float64) []Visible {
+	return ObserveFrom(obs, c.Snapshot(t), minElevDeg)
+}
+
+// sunlitGeocentric wraps astro.IsSunlit but reuses a precomputed sun
+// position for the whole field-of-view sweep.
+func sunlitGeocentric(satECI, sun units.Vec3) bool {
+	// Mirror astro.IsSunlit's geometry with the shared sun vector.
+	sunDir := sun.Unit()
+	along := satECI.Dot(sunDir)
+	if along >= 0 {
+		return true
+	}
+	perp := satECI.Sub(sunDir.Scale(along)).Norm()
+	sunDist := sun.Norm()
+	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
+	apexDist := units.EarthRadiusKm / math.Sin(alpha)
+	behind := -along
+	if behind >= apexDist {
+		return true
+	}
+	return perp > (apexDist-behind)*math.Tan(alpha)
+}
+
+// TrackPoint is a time-stamped topocentric sample of a satellite's
+// path across an observer's sky.
+type TrackPoint struct {
+	T    time.Time
+	Look astro.LookAngles
+}
+
+// Track samples the look angles of satellite id from obs over
+// [start, start+dur] at the given step. Samples below the horizon are
+// included (callers filter); a propagation error aborts.
+func (c *Constellation) Track(id int, obs astro.Geodetic, start time.Time, dur, step time.Duration) ([]TrackPoint, error) {
+	s := c.ByID(id)
+	if s == nil {
+		return nil, fmt.Errorf("constellation: no satellite %d", id)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("constellation: non-positive step %v", step)
+	}
+	var pts []TrackPoint
+	for t := start; !t.After(start.Add(dur)); t = t.Add(step) {
+		st, err := s.Propagator.PropagateAt(t)
+		if err != nil {
+			return nil, fmt.Errorf("constellation: satellite %d at %v: %w", id, t, err)
+		}
+		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
+		pts = append(pts, TrackPoint{T: t, Look: astro.Observe(obs, posECEF)})
+	}
+	return pts, nil
+}
+
+// ExportTLEs renders the whole constellation in CelesTrak 3-line
+// format.
+func (c *Constellation) ExportTLEs() string {
+	out := make([]byte, 0, len(c.Sats)*3*70)
+	for _, s := range c.Sats {
+		s.TLE.Name = s.Name
+		for _, l := range s.TLE.FormatLines() {
+			out = append(out, l...)
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}

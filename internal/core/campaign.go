@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obstruction"
+	"repro/internal/scheduler"
+)
+
+// CampaignConfig drives a measurement campaign: the scheduler runs,
+// each terminal's dish paints the serving satellite's track every
+// slot, snapshots are taken every 15 seconds, terminals reset every
+// ResetEvery slots (the paper resets every 10 minutes to keep XOR
+// diffs clean), and the identification pipeline labels each slot.
+type CampaignConfig struct {
+	Scheduler  *scheduler.Global
+	Identifier *Identifier
+	Start      time.Time
+	Slots      int
+	// ResetEvery is the terminal reset cadence in slots. Default 40
+	// (= 10 minutes).
+	ResetEvery int
+	// Oracle skips obstruction-map identification and labels each slot
+	// with the scheduler's ground-truth allocation. Use it when only
+	// the chosen-vs-available data matters (the §5/§6 analyses) and the
+	// identification step has been validated separately.
+	Oracle bool
+}
+
+// SlotRecord is one slot × terminal campaign outcome.
+type SlotRecord struct {
+	Observation
+	// TrueID is the scheduler's ground-truth allocation (0 = none).
+	TrueID int
+	// IdentifiedID is the §4 pipeline's answer (0 when skipped).
+	IdentifiedID int
+	// Margin is the DTW decision margin (0 in oracle mode).
+	Margin float64
+	// SkipReason is non-empty when identification was not attempted or
+	// failed; the record still carries the available set.
+	SkipReason string
+}
+
+// CampaignResult aggregates a run.
+type CampaignResult struct {
+	Records []SlotRecord
+	// Identification validation (non-oracle runs).
+	Attempted, Correct, Failed int
+}
+
+// Accuracy returns the identification accuracy over attempted slots.
+func (r *CampaignResult) Accuracy() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Attempted)
+}
+
+// Observations extracts the per-slot observations with a valid chosen
+// satellite, ready for the §5 analyses and §6 model.
+func (r *CampaignResult) Observations() []Observation {
+	out := make([]Observation, 0, len(r.Records))
+	for _, rec := range r.Records {
+		if rec.ChosenIdx >= 0 {
+			out = append(out, rec.Observation)
+		}
+	}
+	return out
+}
+
+// RunCampaign executes the campaign.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("core: nil scheduler")
+	}
+	if cfg.Identifier == nil {
+		return nil, fmt.Errorf("core: nil identifier")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("core: campaign needs slots > 0, got %d", cfg.Slots)
+	}
+	if cfg.ResetEvery == 0 {
+		cfg.ResetEvery = 40
+	}
+	terms := cfg.Scheduler.Terminals()
+	for _, t := range terms {
+		if err := validateVantagePoint(t.VantagePoint); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-terminal dish state.
+	maps := make(map[string]*obstruction.Map, len(terms))
+	for _, t := range terms {
+		maps[t.Name] = obstruction.New()
+	}
+
+	res := &CampaignResult{}
+	start := scheduler.EpochStart(cfg.Start)
+	for slot := 0; slot < cfg.Slots; slot++ {
+		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
+		snap := cfg.Identifier.cons.Snapshot(slotStart)
+		allocs := cfg.Scheduler.Allocate(slotStart)
+
+		if cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
+			for _, m := range maps {
+				m.Reset()
+			}
+		}
+
+		for _, t := range terms {
+			var alloc scheduler.Allocation
+			for _, a := range allocs {
+				if a.Terminal == t.Name {
+					alloc = a
+					break
+				}
+			}
+			rec := SlotRecord{
+				Observation: Observation{
+					Terminal:  t.Name,
+					SlotStart: slotStart,
+					LocalHour: LocalHour(t.VantagePoint, slotStart),
+					Available: AvailableSet(snap, t.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg),
+					ChosenIdx: -1,
+				},
+				TrueID: alloc.SatID,
+			}
+
+			switch {
+			case alloc.SatID == 0:
+				rec.SkipReason = "no satellite allocated"
+			case cfg.Oracle:
+				rec.IdentifiedID = alloc.SatID
+				rec.ChosenIdx = indexOf(rec.Available, alloc.SatID)
+				if rec.ChosenIdx < 0 {
+					rec.SkipReason = "allocated satellite not in public available set"
+				}
+			default:
+				m := maps[t.Name]
+				prev := m.Clone()
+				if err := cfg.Identifier.PaintServingTrack(m, alloc.SatID, t.VantagePoint, slotStart); err != nil {
+					rec.SkipReason = err.Error()
+					break
+				}
+				ident, err := cfg.Identifier.IdentifyFromMaps(prev, m, t.VantagePoint, slotStart)
+				if err != nil {
+					rec.SkipReason = err.Error()
+					res.Failed++
+					break
+				}
+				res.Attempted++
+				rec.IdentifiedID = ident.SatID
+				rec.Margin = ident.Margin
+				if ident.SatID == alloc.SatID {
+					res.Correct++
+				}
+				rec.ChosenIdx = indexOf(rec.Available, ident.SatID)
+				if rec.ChosenIdx < 0 {
+					rec.SkipReason = "identified satellite not in public available set"
+				}
+			}
+			res.Records = append(res.Records, rec)
+		}
+	}
+	return res, nil
+}

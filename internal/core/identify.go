@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astro"
+	"repro/internal/constellation"
+	"repro/internal/dtw"
+	"repro/internal/geo"
+	"repro/internal/obstruction"
+	"repro/internal/scheduler"
+)
+
+// Identifier implements the paper's §4 technique: isolate the newest
+// obstruction-map trajectory by XOR-ing consecutive snapshots, convert
+// its pixels to sky coordinates, and match against the SGP4-propagated
+// tracks of every candidate satellite by dynamic time warping.
+type Identifier struct {
+	cons *constellation.Constellation
+	// MinElevationDeg is the visibility mask (default 25).
+	MinElevationDeg float64
+	// SampleStep spaces the candidate-track samples (default 1s, 16
+	// points per 15-second slot).
+	SampleStep time.Duration
+	// UseNaiveMatcher switches to the nearest-endpoint ablation
+	// baseline instead of DTW.
+	UseNaiveMatcher bool
+}
+
+// NewIdentifier builds an identifier over public TLE data.
+func NewIdentifier(cons *constellation.Constellation) (*Identifier, error) {
+	if cons == nil {
+		return nil, fmt.Errorf("core: nil constellation")
+	}
+	return &Identifier{cons: cons, MinElevationDeg: 25, SampleStep: time.Second}, nil
+}
+
+// CandidateTracks samples the projected sky-track of every satellite
+// in the terminal's field of view over the slot.
+func (id *Identifier) CandidateTracks(vp geo.VantagePoint, slotStart time.Time) []dtw.Candidate {
+	fov := id.cons.FieldOfView(vp.Location, slotStart, id.MinElevationDeg)
+	cands := make([]dtw.Candidate, 0, len(fov))
+	for _, v := range fov {
+		track := id.sampleTrack(v.Sat, vp.Location, slotStart)
+		if len(track) == 0 {
+			continue
+		}
+		cands = append(cands, dtw.Candidate{ID: v.Sat.ID, Track: track})
+	}
+	return cands
+}
+
+// CandidatePolarTracks returns every in-view satellite's sky-track
+// over the slot in polar form, keyed by satellite ID — the input for
+// skyplot.Validation, the §4 manual-check rendering.
+func (id *Identifier) CandidatePolarTracks(vp geo.VantagePoint, slotStart time.Time) map[int][]obstruction.PolarPoint {
+	fov := id.cons.FieldOfView(vp.Location, slotStart, id.MinElevationDeg)
+	out := make(map[int][]obstruction.PolarPoint, len(fov))
+	for _, v := range fov {
+		pts, err := id.ServingTrack(v.Sat.ID, vp, slotStart)
+		if err != nil {
+			continue
+		}
+		var masked []obstruction.PolarPoint
+		for _, p := range pts {
+			if p.ElevationDeg >= id.MinElevationDeg {
+				masked = append(masked, p)
+			}
+		}
+		if len(masked) > 0 {
+			out[v.Sat.ID] = masked
+		}
+	}
+	return out
+}
+
+// sampleTrack samples one satellite's look angles across the slot and
+// projects the above-mask points onto the plot plane.
+func (id *Identifier) sampleTrack(sat *constellation.Satellite, obs astro.Geodetic, slotStart time.Time) []dtw.Point {
+	var out []dtw.Point
+	for dt := time.Duration(0); dt <= scheduler.Period; dt += id.SampleStep {
+		t := slotStart.Add(dt)
+		st, err := sat.Propagator.PropagateAt(t)
+		if err != nil {
+			return nil
+		}
+		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
+		la := astro.Observe(obs, posECEF)
+		if la.ElevationDeg < id.MinElevationDeg {
+			continue
+		}
+		out = append(out, dtw.FromPolar(obstruction.PolarPoint{
+			ElevationDeg: la.ElevationDeg,
+			AzimuthDeg:   la.AzimuthDeg,
+		}))
+	}
+	return out
+}
+
+// Identification is the outcome of one slot's §4 matching.
+type Identification struct {
+	Terminal  string
+	SlotStart time.Time
+	SatID     int     // identified satellite
+	Distance  float64 // DTW distance of the winner
+	Margin    float64 // runner-up distance minus winner distance
+	// TrackLen is the number of sky points recovered from the XOR diff.
+	TrackLen int
+}
+
+// IdentifyFromMaps runs the full §4 pipeline on two consecutive
+// obstruction-map snapshots.
+func (id *Identifier) IdentifyFromMaps(prev, cur *obstruction.Map, vp geo.VantagePoint, slotStart time.Time) (Identification, error) {
+	diff := obstruction.XOR(prev, cur)
+	track := diff.Track()
+	if len(track) < 2 {
+		return Identification{}, fmt.Errorf("core: slot %v at %s: XOR diff has %d points (satellite unchanged or overlapping trajectory)",
+			slotStart, vp.Name, len(track))
+	}
+	observed := dtw.FromPolarTrack(track)
+	cands := id.CandidateTracks(vp, slotStart)
+	if len(cands) == 0 {
+		return Identification{}, fmt.Errorf("core: slot %v at %s: no candidate satellites in view", slotStart, vp.Name)
+	}
+	out := Identification{Terminal: vp.Name, SlotStart: slotStart, TrackLen: len(track)}
+	if id.UseNaiveMatcher {
+		m, err := dtw.NaiveNearestEndpoint(observed, cands)
+		if err != nil {
+			return Identification{}, fmt.Errorf("core: naive match at %s: %w", vp.Name, err)
+		}
+		out.SatID = m.ID
+		out.Distance = m.Distance
+		return out, nil
+	}
+	best, margin, err := dtw.Identify(observed, cands)
+	if err != nil {
+		return Identification{}, fmt.Errorf("core: dtw match at %s: %w", vp.Name, err)
+	}
+	out.SatID = best.ID
+	out.Distance = best.Distance
+	out.Margin = margin
+	return out, nil
+}
+
+// ServingTrack samples the serving satellite's sky-track for a slot
+// the way dish firmware records it: look angles sampled along the
+// slot, including below-mask points (PaintTrack clips them).
+func (id *Identifier) ServingTrack(satID int, vp geo.VantagePoint, slotStart time.Time) ([]obstruction.PolarPoint, error) {
+	sat := id.cons.ByID(satID)
+	if sat == nil {
+		return nil, fmt.Errorf("core: unknown satellite %d", satID)
+	}
+	var pts []obstruction.PolarPoint
+	for dt := time.Duration(0); dt <= scheduler.Period; dt += id.SampleStep {
+		t := slotStart.Add(dt)
+		st, err := sat.Propagator.PropagateAt(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: propagate %d: %w", satID, err)
+		}
+		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
+		la := astro.Observe(vp.Location, posECEF)
+		pts = append(pts, obstruction.PolarPoint{
+			ElevationDeg: la.ElevationDeg,
+			AzimuthDeg:   la.AzimuthDeg,
+		})
+	}
+	return pts, nil
+}
+
+// PaintServingTrack renders the serving satellite's sky-track for a
+// slot into the map, drawn as a connected stroke.
+func (id *Identifier) PaintServingTrack(m *obstruction.Map, satID int, vp geo.VantagePoint, slotStart time.Time) error {
+	pts, err := id.ServingTrack(satID, vp, slotStart)
+	if err != nil {
+		return err
+	}
+	m.PaintTrack(pts)
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// BuildDataset converts observations into the §6 supervised problem:
+// X = [local hour, per-cluster availability counts], y = cluster of
+// the chosen satellite. Slots without an identified chosen satellite
+// are skipped.
+func BuildDataset(obs []Observation) (*ml.Dataset, error) {
+	d := &ml.Dataset{NumClasses: features.NumClusters}
+	for _, o := range obs {
+		chosen, ok := o.Chosen()
+		if !ok {
+			continue
+		}
+		sats := make([]features.Sat, len(o.Available))
+		for i, a := range o.Available {
+			sats[i] = features.Sat{
+				AzimuthDeg:   a.AzimuthDeg,
+				ElevationDeg: a.ElevationDeg,
+				AgeYears:     a.AgeYears,
+				Sunlit:       a.Sunlit,
+			}
+		}
+		slot, err := features.Cluster(sats)
+		if err != nil {
+			return nil, fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
+		}
+		key, err := slot.KeyOf(o.ChosenIdx)
+		if err != nil {
+			return nil, fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
+		}
+		_ = chosen
+		d.X = append(d.X, slot.Vector(o.LocalHour))
+		d.Y = append(d.Y, key.Index())
+	}
+	if len(d.X) == 0 {
+		return nil, fmt.Errorf("core: no usable observations for the model")
+	}
+	return d, nil
+}
+
+// BaselineRanker is the paper's baseline: predict the cluster(s) with
+// the most available satellites, straight from the feature vector.
+func BaselineRanker() ml.Ranker {
+	return ml.RankerFunc(func(x []float64) ([]int, error) {
+		return features.BaselineRanking(x)
+	})
+}
+
+// ModelConfig controls the §6 training protocol.
+type ModelConfig struct {
+	// HoldoutFrac is the validation split (paper: 0.2).
+	HoldoutFrac float64
+	// Folds for cross-validated grid search (paper: 5).
+	Folds int
+	// Grid lists candidate forest configurations; nil uses a default
+	// grid over tree count and depth.
+	Grid []ml.ForestConfig
+	// GridTopK is the accuracy metric used to pick a configuration.
+	// Default 5 (the paper's headline k).
+	GridTopK int
+	// MaxK bounds the reported top-k curves. Default 9 (Figure 8's
+	// x-axis).
+	MaxK int
+	// Seed drives splits and training.
+	Seed int64
+}
+
+func (c *ModelConfig) applyDefaults() {
+	if c.HoldoutFrac == 0 {
+		c.HoldoutFrac = 0.2
+	}
+	if c.Folds == 0 {
+		c.Folds = 5
+	}
+	if c.GridTopK == 0 {
+		c.GridTopK = 5
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 9
+	}
+	if len(c.Grid) == 0 {
+		c.Grid = []ml.ForestConfig{
+			{NumTrees: 40, Tree: ml.TreeConfig{MaxDepth: 8}},
+			{NumTrees: 40, Tree: ml.TreeConfig{MaxDepth: 14}},
+			{NumTrees: 80, Tree: ml.TreeConfig{MaxDepth: 10}},
+			{NumTrees: 80, Tree: ml.TreeConfig{MaxDepth: 16, MinSamplesLeaf: 2}},
+		}
+	}
+}
+
+// FeatureImportance is one named importance entry.
+type FeatureImportance struct {
+	Name       string
+	Importance float64
+}
+
+// ModelResult is the §6 outcome: the Figure 8 curves plus the trained
+// model and its explanation.
+type ModelResult struct {
+	Forest *ml.Forest
+	// BestConfig is the grid-search winner and its CV score.
+	BestConfig ml.GridPoint
+	// ModelTopK[k-1] and BaselineTopK[k-1] are holdout top-k accuracy
+	// for k = 1..MaxK — exactly Figure 8's two series.
+	ModelTopK    []float64
+	BaselineTopK []float64
+	// Importances are the named gini importances, descending.
+	Importances []FeatureImportance
+	// TrainRows/HoldoutRows record the split sizes.
+	TrainRows, HoldoutRows int
+}
+
+// TrainModel runs the full §6 protocol: 80/20 split, grid search with
+// k-fold CV on the training side, final fit, holdout evaluation of
+// model and baseline, and gini importance extraction.
+func TrainModel(d *ml.Dataset, cfg ModelConfig) (*ModelResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trainIdx, testIdx, err := ml.TrainTestSplit(len(d.X), cfg.HoldoutFrac, rng)
+	if err != nil {
+		return nil, err
+	}
+	train := d.Subset(trainIdx)
+	test := d.Subset(testIdx)
+
+	// Seed each grid config deterministically from the model seed.
+	grid := make([]ml.ForestConfig, len(cfg.Grid))
+	for i, g := range cfg.Grid {
+		g.Seed = cfg.Seed + int64(i) + 1
+		grid[i] = g
+	}
+	points, err := ml.GridSearch(train, grid, cfg.Folds, cfg.GridTopK, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: grid search: %w", err)
+	}
+	best := points[0]
+
+	forest, err := ml.FitForest(train, best.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: final fit: %w", err)
+	}
+
+	modelCurve, err := ml.TopKCurve(ml.ForestRanker{Forest: forest}, test, cfg.MaxK)
+	if err != nil {
+		return nil, fmt.Errorf("core: model eval: %w", err)
+	}
+	baseCurve, err := ml.TopKCurve(BaselineRanker(), test, cfg.MaxK)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline eval: %w", err)
+	}
+
+	imp := forest.Importance()
+	named := make([]FeatureImportance, len(imp))
+	for i, v := range imp {
+		named[i] = FeatureImportance{Name: features.FeatureName(i), Importance: v}
+	}
+	sort.SliceStable(named, func(i, j int) bool { return named[i].Importance > named[j].Importance })
+
+	return &ModelResult{
+		Forest:       forest,
+		BestConfig:   best,
+		ModelTopK:    modelCurve,
+		BaselineTopK: baseCurve,
+		Importances:  named,
+		TrainRows:    len(trainIdx),
+		HoldoutRows:  len(testIdx),
+	}, nil
+}
+
+// PredictAllocation applies a trained model to a fresh slot: given the
+// available set and local hour, it returns the predicted cluster
+// indices in descending likelihood, so a caller can check whether the
+// eventually chosen satellite's cluster is in the top k.
+func PredictAllocation(forest *ml.Forest, o *Observation) ([]features.Key, error) {
+	sats := make([]features.Sat, len(o.Available))
+	for i, a := range o.Available {
+		sats[i] = features.Sat{
+			AzimuthDeg:   a.AzimuthDeg,
+			ElevationDeg: a.ElevationDeg,
+			AgeYears:     a.AgeYears,
+			Sunlit:       a.Sunlit,
+		}
+	}
+	slot, err := features.Cluster(sats)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := ml.ForestRanker{Forest: forest}.RankClasses(slot.Vector(o.LocalHour))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]features.Key, 0, len(ranked))
+	for _, c := range ranked {
+		k, err := features.KeyFromIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}

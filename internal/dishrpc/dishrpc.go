@@ -1,0 +1,328 @@
+// Package dishrpc implements the networked dish API this reproduction
+// polls the way the paper polled starlink-grpc-tools against a real
+// terminal: a daemon exposes the dish's status and 123×123 obstruction
+// map over a framed JSON protocol on TCP, and a client fetches a
+// snapshot every 15 seconds and requests resets every 10 minutes.
+//
+// Wire format: each message is a 4-byte big-endian length followed by
+// a JSON body. Requests carry an id echoed in the response, so a
+// client could pipeline (the provided client does not need to).
+//
+// Methods:
+//
+//	get_status          -> DishStatus
+//	get_obstruction_map -> base64 of the map's compact 1-bit encoding
+//	reset               -> clears the map (terminal reboot)
+package dishrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obstruction"
+)
+
+// MaxFrame bounds accepted message sizes; a 123×123 bitmap is ~1.9 KiB
+// so 1 MiB is generous while keeping a malicious peer from ballooning
+// memory.
+const MaxFrame = 1 << 20
+
+// ErrProtocol reports a malformed frame or message.
+var ErrProtocol = errors.New("dishrpc: protocol error")
+
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+type response struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// DishStatus mirrors the subset of dish telemetry the methodology
+// uses. Deliberately, it does NOT identify the serving satellite —
+// Starlink removed that field, which is why the obstruction-map
+// technique exists.
+type DishStatus struct {
+	ID              string    `json:"id"`
+	Hardware        string    `json:"hardware"`
+	UptimeSeconds   int64     `json:"uptime_s"`
+	SnapshotTime    time.Time `json:"snapshot_time"`
+	FractionPainted float64   `json:"fraction_obstruction_map_painted"`
+}
+
+// Dish is the device state the daemon serves. Safe for concurrent use.
+type Dish struct {
+	mu      sync.Mutex
+	id      string
+	boot    time.Time
+	now     func() time.Time
+	current *obstruction.Map
+}
+
+// NewDish creates a dish. now == nil uses time.Now; the simulator
+// passes its own clock.
+func NewDish(id string, now func() time.Time) *Dish {
+	if now == nil {
+		now = time.Now
+	}
+	return &Dish{id: id, boot: now(), now: now, current: obstruction.New()}
+}
+
+// PaintTrack adds a serving satellite's sky-track to the map, as the
+// firmware does while connected.
+func (d *Dish) PaintTrack(points []obstruction.PolarPoint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.current.PaintTrack(points)
+}
+
+// Reset clears the obstruction map and restarts the uptime counter.
+func (d *Dish) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.current.Reset()
+	d.boot = d.now()
+}
+
+// Snapshot returns a copy of the current map.
+func (d *Dish) Snapshot() *obstruction.Map {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.current.Clone()
+}
+
+// Status reports telemetry.
+func (d *Dish) Status() DishStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	return DishStatus{
+		ID:              d.id,
+		Hardware:        "rev3_proto2_sim",
+		UptimeSeconds:   int64(now.Sub(d.boot).Seconds()),
+		SnapshotTime:    now,
+		FractionPainted: float64(d.current.Count()) / float64(obstruction.Size*obstruction.Size),
+	}
+}
+
+// writeFrame sends one length-prefixed JSON message.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dishrpc: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dishrpc: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("dishrpc: write body: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one length-prefixed JSON message into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF propagates cleanly for connection close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("dishrpc: read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: bad json: %v", ErrProtocol, err)
+	}
+	return nil
+}
+
+// Server exposes a Dish over TCP.
+type Server struct {
+	dish *Dish
+	ln   net.Listener
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, dish *Dish) (*Server, error) {
+	if dish == nil {
+		return nil, fmt.Errorf("dishrpc: nil dish")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dishrpc: listen %q: %w", addr, err)
+	}
+	return &Server{dish: dish, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until ctx is canceled or the listener
+// closes. Each connection handles requests sequentially.
+func (s *Server) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dishrpc: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close shuts the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := readFrame(br, &req); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) response {
+	resp := response{ID: req.ID}
+	switch req.Method {
+	case "get_status":
+		body, err := json.Marshal(s.dish.Status())
+		if err != nil {
+			resp.Error = err.Error()
+			break
+		}
+		resp.Result = body
+	case "get_obstruction_map":
+		snap := s.dish.Snapshot()
+		raw, err := snap.MarshalBinary()
+		if err != nil {
+			resp.Error = err.Error()
+			break
+		}
+		body, err := json.Marshal(base64.StdEncoding.EncodeToString(raw))
+		if err != nil {
+			resp.Error = err.Error()
+			break
+		}
+		resp.Result = body
+	case "reset":
+		s.dish.Reset()
+		resp.Result = json.RawMessage(`"ok"`)
+	default:
+		resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+	}
+	return resp
+}
+
+// Client talks to a dish daemon. Not safe for concurrent use; open one
+// client per goroutine (like the underlying tools).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	next uint64
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dishrpc: dial %q: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(method string, out any) error {
+	c.next++
+	req := request{ID: c.next, Method: method}
+	if err := writeFrame(c.bw, &req); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("dishrpc: flush: %w", err)
+	}
+	var resp response
+	if err := readFrame(c.br, &resp); err != nil {
+		return fmt.Errorf("dishrpc: read response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("dishrpc: server: %s", resp.Error)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Result, out); err != nil {
+			return fmt.Errorf("%w: bad result: %v", ErrProtocol, err)
+		}
+	}
+	return nil
+}
+
+// Status fetches dish telemetry.
+func (c *Client) Status() (DishStatus, error) {
+	var st DishStatus
+	err := c.call("get_status", &st)
+	return st, err
+}
+
+// ObstructionMap fetches the current obstruction map snapshot.
+func (c *Client) ObstructionMap() (*obstruction.Map, error) {
+	var b64 string
+	if err := c.call("get_obstruction_map", &b64); err != nil {
+		return nil, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad base64: %v", ErrProtocol, err)
+	}
+	m := obstruction.New()
+	if err := m.UnmarshalBinary(raw); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset reboots the dish (clears the obstruction map).
+func (c *Client) Reset() error { return c.call("reset", nil) }

@@ -1,0 +1,246 @@
+package dishrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obstruction"
+)
+
+func startServer(t *testing.T, dish *Dish) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", dish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+	return srv
+}
+
+func track() []obstruction.PolarPoint {
+	return []obstruction.PolarPoint{
+		{ElevationDeg: 40, AzimuthDeg: 350},
+		{ElevationDeg: 65, AzimuthDeg: 20},
+		{ElevationDeg: 50, AzimuthDeg: 60},
+	}
+}
+
+func TestStatusAndMapOverLoopback(t *testing.T) {
+	base := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	dish := NewDish("dish-iowa", func() time.Time { return now })
+	dish.PaintTrack(track())
+	srv := startServer(t, dish)
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	now = base.Add(90 * time.Second)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "dish-iowa" {
+		t.Errorf("id = %q", st.ID)
+	}
+	if st.UptimeSeconds != 90 {
+		t.Errorf("uptime = %d", st.UptimeSeconds)
+	}
+	if st.FractionPainted <= 0 {
+		t.Error("nothing painted")
+	}
+
+	m, err := c.ObstructionMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := obstruction.New()
+	want.PaintTrack(track())
+	if !m.Equal(want) {
+		t.Error("fetched map differs from painted map")
+	}
+}
+
+func TestResetClearsMapAndUptime(t *testing.T) {
+	base := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	dish := NewDish("d", func() time.Time { return now })
+	dish.PaintTrack(track())
+	srv := startServer(t, dish)
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	now = base.Add(10 * time.Minute)
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.ObstructionMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 0 {
+		t.Error("map not cleared by reset")
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds != 0 {
+		t.Errorf("uptime after reset = %d", st.UptimeSeconds)
+	}
+}
+
+func TestPollingSequenceXORWorkflow(t *testing.T) {
+	// Simulate the paper's polling loop: paint track A, snapshot, paint
+	// track B, snapshot, XOR isolates B.
+	dish := NewDish("d", nil)
+	srv := startServer(t, dish)
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	trackA := track()
+	trackB := []obstruction.PolarPoint{
+		{ElevationDeg: 30, AzimuthDeg: 180},
+		{ElevationDeg: 55, AzimuthDeg: 210},
+	}
+	dish.PaintTrack(trackA)
+	prev, err := c.ObstructionMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dish.PaintTrack(trackB)
+	cur, err := c.ObstructionMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := obstruction.XOR(prev, cur)
+	want := obstruction.New()
+	want.PaintTrack(trackB)
+	if !diff.Equal(want) {
+		t.Error("XOR over RPC snapshots did not isolate the new track")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	dish := NewDish("d", nil)
+	srv := startServer(t, dish)
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.call("bogus", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+	// Connection must still work afterwards.
+	if _, err := c.Status(); err != nil {
+		t.Errorf("status after error: %v", err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	dish := NewDish("d", nil)
+	srv := startServer(t, dish)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Status(); err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.ObstructionMap(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	dish := NewDish("d", nil)
+	srv := startServer(t, dish)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim a 100 MiB frame: the server must drop the connection rather
+	// than allocate it.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100<<20)
+	conn.Write(hdr[:])
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered an oversize frame")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := request{ID: 7, Method: "get_status"}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Method != "get_status" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadFrameGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{")
+	var out request
+	if err := readFrame(&buf, &out); err == nil {
+		t.Error("garbage json accepted")
+	}
+}
+
+func TestNewServerNilDish(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Error("nil dish accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,173 @@
+// Package dtw implements dynamic time warping over 2-D point
+// sequences and the satellite-identification matcher built on it: the
+// isolated obstruction-map trajectory is compared against the
+// projected sky-tracks of every candidate satellite, and the candidate
+// with the smallest DTW distance is declared the serving satellite
+// (paper §4, "Identifying serving satellite").
+//
+// Positions are converted from polar sky coordinates to Cartesian
+// before matching, exactly as the paper notes is required.
+package dtw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obstruction"
+	"repro/internal/units"
+)
+
+// Point is a 2-D Cartesian position on the polar-plot plane.
+type Point struct {
+	X, Y float64
+}
+
+// FromPolar projects a sky direction onto the plot plane: radius is
+// the zenith distance (90° − elevation), angle is the azimuth
+// clockwise from north (+Y).
+func FromPolar(p obstruction.PolarPoint) Point {
+	r := 90 - p.ElevationDeg
+	az := units.Deg2Rad(p.AzimuthDeg)
+	return Point{X: r * math.Sin(az), Y: r * math.Cos(az)}
+}
+
+// FromPolarTrack converts a whole trajectory.
+func FromPolarTrack(track []obstruction.PolarPoint) []Point {
+	out := make([]Point, len(track))
+	for i, p := range track {
+		out[i] = FromPolar(p)
+	}
+	return out
+}
+
+func dist(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Distance computes the classic O(len(a)·len(b)) DTW distance with a
+// Euclidean point metric and unit step weights. Both sequences must be
+// non-empty; it returns +Inf otherwise. The two rolling rows keep the
+// computation allocation-light for repeated matching.
+func Distance(a, b []Point) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			d := dist(a[i-1], b[j-1])
+			cur[j] = d + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// NormalizedDistance divides the DTW distance by the warping-path
+// length upper bound (n+m), giving a per-step cost that is comparable
+// across trajectories of different lengths.
+func NormalizedDistance(a, b []Point) float64 {
+	d := Distance(a, b)
+	if math.IsInf(d, 1) {
+		return d
+	}
+	return d / float64(len(a)+len(b))
+}
+
+// ReverseInsensitiveDistance returns the smaller of the DTW distances
+// against b and reversed b. The obstruction-map track recovery orders
+// points along the trajectory's principal axis with arbitrary sign, so
+// the matcher must accept either direction.
+func ReverseInsensitiveDistance(a, b []Point) float64 {
+	d1 := NormalizedDistance(a, b)
+	rb := make([]Point, len(b))
+	for i, p := range b {
+		rb[len(b)-1-i] = p
+	}
+	d2 := NormalizedDistance(a, rb)
+	return math.Min(d1, d2)
+}
+
+// Candidate pairs an identifier with its projected track.
+type Candidate struct {
+	ID    int
+	Track []Point
+}
+
+// Match is a ranked identification outcome.
+type Match struct {
+	ID       int
+	Distance float64
+}
+
+// Rank scores every candidate against the observed track and returns
+// them sorted by ascending distance. Empty candidate tracks rank last.
+func Rank(observed []Point, cands []Candidate) ([]Match, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("dtw: empty observed track")
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("dtw: no candidates")
+	}
+	out := make([]Match, len(cands))
+	for i, c := range cands {
+		out[i] = Match{ID: c.ID, Distance: ReverseInsensitiveDistance(observed, c.Track)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out, nil
+}
+
+// Identify returns the best match plus the margin to the runner-up
+// (0 when there is a single candidate). A large margin indicates a
+// confident identification; the paper's visual validation corresponds
+// to checking that margins are decisive.
+func Identify(observed []Point, cands []Candidate) (best Match, margin float64, err error) {
+	ranked, err := Rank(observed, cands)
+	if err != nil {
+		return Match{}, 0, err
+	}
+	best = ranked[0]
+	if len(ranked) > 1 && !math.IsInf(ranked[1].Distance, 1) {
+		margin = ranked[1].Distance - best.Distance
+	}
+	return best, margin, nil
+}
+
+// NaiveNearestEndpoint is the ablation baseline matcher: it ignores
+// trajectory shape and picks the candidate whose first point is
+// nearest to the observed track's first point (direction-insensitive).
+func NaiveNearestEndpoint(observed []Point, cands []Candidate) (Match, error) {
+	if len(observed) == 0 {
+		return Match{}, fmt.Errorf("dtw: empty observed track")
+	}
+	if len(cands) == 0 {
+		return Match{}, fmt.Errorf("dtw: no candidates")
+	}
+	best := Match{Distance: math.Inf(1)}
+	for _, c := range cands {
+		if len(c.Track) == 0 {
+			continue
+		}
+		d := math.Min(
+			math.Min(dist(observed[0], c.Track[0]), dist(observed[0], c.Track[len(c.Track)-1])),
+			math.Min(dist(observed[len(observed)-1], c.Track[0]), dist(observed[len(observed)-1], c.Track[len(c.Track)-1])),
+		)
+		if d < best.Distance {
+			best = Match{ID: c.ID, Distance: d}
+		}
+	}
+	if math.IsInf(best.Distance, 1) {
+		return Match{}, fmt.Errorf("dtw: all candidate tracks empty")
+	}
+	return best, nil
+}

@@ -1,0 +1,218 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/obstruction"
+)
+
+func line(x0, y0, x1, y1 float64, n int) []Point {
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = Point{X: x0 + f*(x1-x0), Y: y0 + f*(y1-y0)}
+	}
+	return out
+}
+
+func TestDistanceIdentical(t *testing.T) {
+	a := line(0, 0, 10, 10, 20)
+	if d := Distance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	a := line(0, 0, 1, 1, 5)
+	if !math.IsInf(Distance(a, nil), 1) || !math.IsInf(Distance(nil, a), 1) {
+		t.Error("empty sequence should give +Inf")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]Point, 5+rng.Intn(10))
+		b := make([]Point, 5+rng.Intn(10))
+		for i := range a {
+			a[i] = Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		}
+		for i := range b {
+			b[i] = Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		}
+		return math.Abs(Distance(a, b)-Distance(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegativeAndZeroOnlyForEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]Point, 3+rng.Intn(8))
+		for i := range a {
+			a[i] = Point{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		b := append([]Point(nil), a...)
+		b[0].X += 5 // clearly different
+		return Distance(a, a) == 0 && Distance(a, b) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceHandlesTimeWarp(t *testing.T) {
+	// The same path sampled at different rates should match closely,
+	// much more closely than a parallel path offset by 5 units.
+	path1 := line(0, 0, 10, 0, 10)
+	path2 := line(0, 0, 10, 0, 37) // same geometry, finer sampling
+	offset := line(0, 5, 10, 5, 10)
+	dSame := NormalizedDistance(path1, path2)
+	dOff := NormalizedDistance(path1, offset)
+	if dSame >= dOff {
+		t.Errorf("resampled path (%v) not closer than offset path (%v)", dSame, dOff)
+	}
+	if dSame > 0.5 {
+		t.Errorf("resampled path normalized distance = %v, want near 0", dSame)
+	}
+}
+
+func TestReverseInsensitive(t *testing.T) {
+	a := line(0, 0, 10, 10, 15)
+	rev := make([]Point, len(a))
+	for i, p := range a {
+		rev[len(a)-1-i] = p
+	}
+	if d := ReverseInsensitiveDistance(a, rev); d > 1e-9 {
+		t.Errorf("reverse-insensitive distance to reversed self = %v", d)
+	}
+}
+
+func TestFromPolarGeometry(t *testing.T) {
+	// North at elevation 40 => radius 50 along +Y.
+	p := FromPolar(obstruction.PolarPoint{ElevationDeg: 40, AzimuthDeg: 0})
+	if math.Abs(p.X) > 1e-9 || math.Abs(p.Y-50) > 1e-9 {
+		t.Errorf("north: %+v", p)
+	}
+	// East => +X.
+	p = FromPolar(obstruction.PolarPoint{ElevationDeg: 40, AzimuthDeg: 90})
+	if math.Abs(p.X-50) > 1e-9 || math.Abs(p.Y) > 1e-9 {
+		t.Errorf("east: %+v", p)
+	}
+	// Zenith => origin.
+	p = FromPolar(obstruction.PolarPoint{ElevationDeg: 90, AzimuthDeg: 123})
+	if math.Hypot(p.X, p.Y) > 1e-9 {
+		t.Errorf("zenith: %+v", p)
+	}
+}
+
+func TestRankOrdersByDistance(t *testing.T) {
+	obs := line(0, 0, 10, 0, 12)
+	cands := []Candidate{
+		{ID: 1, Track: line(0, 8, 10, 8, 12)},     // far
+		{ID: 2, Track: line(0, 0.5, 10, 0.5, 12)}, // close
+		{ID: 3, Track: line(0, 3, 10, 3, 12)},     // middle
+	}
+	ranked, err := Rank(obs, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].ID != 2 || ranked[1].ID != 3 || ranked[2].ID != 1 {
+		t.Errorf("rank order = %v", ranked)
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	if _, err := Rank(nil, []Candidate{{ID: 1, Track: line(0, 0, 1, 1, 5)}}); err == nil {
+		t.Error("expected error for empty observed")
+	}
+	if _, err := Rank(line(0, 0, 1, 1, 5), nil); err == nil {
+		t.Error("expected error for no candidates")
+	}
+}
+
+func TestIdentifyMargin(t *testing.T) {
+	obs := line(0, 0, 10, 0, 12)
+	cands := []Candidate{
+		{ID: 1, Track: line(0, 0.2, 10, 0.2, 12)},
+		{ID: 2, Track: line(0, 9, 10, 9, 12)},
+	}
+	best, margin, err := Identify(obs, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ID != 1 {
+		t.Errorf("best = %d", best.ID)
+	}
+	if margin < 3 {
+		t.Errorf("margin = %v, want decisive", margin)
+	}
+	// Single candidate: margin 0.
+	_, margin, err = Identify(obs, cands[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin != 0 {
+		t.Errorf("single-candidate margin = %v", margin)
+	}
+}
+
+func TestNaiveNearestEndpoint(t *testing.T) {
+	obs := line(0, 0, 10, 0, 12)
+	cands := []Candidate{
+		{ID: 1, Track: line(0, 1, 10, 1, 12)},
+		{ID: 2, Track: line(20, 20, 30, 20, 12)},
+		{ID: 3, Track: nil},
+	}
+	m, err := NaiveNearestEndpoint(obs, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 1 {
+		t.Errorf("naive best = %d", m.ID)
+	}
+	if _, err := NaiveNearestEndpoint(obs, []Candidate{{ID: 3}}); err == nil {
+		t.Error("expected error when all tracks empty")
+	}
+}
+
+// TestNaiveWorseOnCrossingTracks demonstrates why DTW is needed: two
+// candidates start at the same point but follow different paths.
+func TestNaiveWorseOnCrossingTracks(t *testing.T) {
+	// Observed follows candidate 1's curve.
+	obs := []Point{{0, 0}, {2, 1}, {4, 3}, {6, 6}, {8, 10}}
+	c1 := Candidate{ID: 1, Track: []Point{{0, 0}, {2, 1}, {4, 3}, {6, 6}, {8, 10}}}
+	c2 := Candidate{ID: 2, Track: []Point{{0, 0}, {2, -1}, {4, -3}, {6, -6}, {8, -10}}}
+	best, _, err := Identify(obs, []Candidate{c2, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ID != 1 {
+		t.Errorf("DTW best = %d, want 1", best.ID)
+	}
+	// The naive matcher cannot distinguish them (same endpoints origin).
+	naive, err := NaiveNearestEndpoint(obs, []Candidate{c2, c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = naive // either answer is acceptable; the point is DTW is decisive.
+}
+
+func BenchmarkDistance50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]Point, 50)
+	c := make([]Point, 50)
+	for i := range a {
+		a[i] = Point{rng.NormFloat64() * 30, rng.NormFloat64() * 30}
+		c[i] = Point{rng.NormFloat64() * 30, rng.NormFloat64() * 30}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(a, c)
+	}
+}

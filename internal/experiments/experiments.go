@@ -1,0 +1,421 @@
+// Package experiments wires the full reproduction together: one
+// environment (constellation + terminals + ground-truth scheduler +
+// identification pipeline) and one entry point per paper figure or
+// table. cmd/repro renders these results as text; bench_test.go times
+// them; EXPERIMENTS.md records paper-vs-measured numbers from the same
+// code paths.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ml"
+	"repro/internal/netsim"
+	"repro/internal/obstruction"
+	"repro/internal/scheduler"
+	"repro/internal/stats"
+)
+
+// Scale selects constellation density. The analyses' shapes are stable
+// across scales; Full matches the 2023 Starlink constellation count
+// and the paper's ~40 satellites in view.
+type Scale string
+
+// Scales.
+const (
+	// Small: ~700 satellites, a few in view. Fast smoke tests.
+	Small Scale = "small"
+	// Medium: ~1800 satellites, ~15 in view. Default: paper-shaped
+	// results in seconds.
+	Medium Scale = "medium"
+	// Full: ~4400 satellites, ~40 in view, matches the paper's density.
+	Full Scale = "full"
+)
+
+func shellsFor(s Scale) ([]constellation.Shell, error) {
+	switch s {
+	case Small:
+		return []constellation.Shell{
+			{Name: "s1", AltitudeKm: 550, InclinationDeg: 53, Planes: 30, SatsPerPlane: 18, PhasingF: 13},
+			{Name: "s3", AltitudeKm: 570, InclinationDeg: 70, Planes: 12, SatsPerPlane: 12, PhasingF: 5},
+		}, nil
+	case Medium, "":
+		return []constellation.Shell{
+			{Name: "s1", AltitudeKm: 550, InclinationDeg: 53, Planes: 48, SatsPerPlane: 20, PhasingF: 17},
+			{Name: "s2", AltitudeKm: 540, InclinationDeg: 53.2, Planes: 40, SatsPerPlane: 18, PhasingF: 13},
+			{Name: "s3", AltitudeKm: 570, InclinationDeg: 70, Planes: 14, SatsPerPlane: 14, PhasingF: 5},
+		}, nil
+	case Full:
+		return constellation.StarlinkShells(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scale %q (want small|medium|full)", s)
+	}
+}
+
+// Config assembles an environment.
+type Config struct {
+	Scale Scale
+	Seed  int64
+	// UseKeplerJ2 swaps the ablation propagator into the constellation.
+	UseKeplerJ2 bool
+	// Weights overrides the scheduler's preferences (ablations); zero
+	// value uses the defaults.
+	Weights scheduler.Weights
+	// GSOProtectionDeg < 0 disables the exclusion zone (ablation).
+	GSOProtectionDeg float64
+	// VantagePoints overrides the study's four sites (e.g. the §8
+	// southern-hemisphere generalization).
+	VantagePoints []geo.VantagePoint
+}
+
+// Env is a ready-to-run reproduction environment.
+type Env struct {
+	Cons      *constellation.Constellation
+	Sched     *scheduler.Global
+	Ident     *core.Identifier
+	Terminals []scheduler.Terminal
+	Seed      int64
+}
+
+// NewEnv builds the constellation, terminals, scheduler, and
+// identifier.
+func NewEnv(cfg Config) (*Env, error) {
+	shells, err := shellsFor(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := constellation.New(constellation.Config{
+		Shells:      shells,
+		Seed:        cfg.Seed,
+		UseKeplerJ2: cfg.UseKeplerJ2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build constellation: %w", err)
+	}
+	vps := cfg.VantagePoints
+	if len(vps) == 0 {
+		vps = geo.StudyVantagePoints()
+	}
+	var terms []scheduler.Terminal
+	for _, vp := range vps {
+		terms = append(terms, scheduler.Terminal{VantagePoint: vp, Priority: 1})
+	}
+	sched, err := scheduler.NewGlobal(scheduler.Config{
+		Constellation:    cons,
+		Terminals:        terms,
+		Weights:          cfg.Weights,
+		GSOProtectionDeg: cfg.GSOProtectionDeg,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build scheduler: %w", err)
+	}
+	ident, err := core.NewIdentifier(cons)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed}, nil
+}
+
+// Start returns the campaign start time (one hour past the TLE epoch,
+// aligned to the allocation grid).
+func (e *Env) Start() time.Time {
+	return scheduler.EpochStart(e.Cons.Epoch.Add(time.Hour))
+}
+
+// terminal finds a terminal by name.
+func (e *Env) terminal(name string) (scheduler.Terminal, error) {
+	for _, t := range e.Terminals {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return scheduler.Terminal{}, fmt.Errorf("experiments: unknown terminal %q", name)
+}
+
+// Fig2Result is the Figure 2 artifact: a two-minute high-frequency RTT
+// trace from one terminal with per-slot statistics.
+type Fig2Result struct {
+	Terminal string
+	Samples  []netsim.Sample
+	// BoundarySeconds are the seconds-past-the-minute at which slot
+	// boundaries fall (the paper: 12, 27, 42, 57).
+	BoundarySeconds []int
+	// WindowMedians holds the median RTT of each 15-second window —
+	// the regime levels visible in the figure.
+	WindowMedians []float64
+}
+
+// Fig2 generates the Figure 2 trace (default: EU terminal = Madrid,
+// 2 minutes at 1 probe / 20 ms).
+func (e *Env) Fig2(terminalName string, dur time.Duration) (*Fig2Result, error) {
+	if terminalName == "" {
+		terminalName = "Madrid"
+	}
+	if dur == 0 {
+		dur = 2 * time.Minute
+	}
+	term, err := e.terminal(terminalName)
+	if err != nil {
+		return nil, err
+	}
+	path, err := netsim.NewPath(netsim.Config{
+		Constellation: e.Cons,
+		Scheduler:     e.Sched,
+		Terminal:      term,
+		Seed:          e.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	samples, err := path.Trace(e.Start(), dur, 20*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Terminal: terminalName, Samples: samples}
+	seen := map[int]bool{}
+	for _, w := range netsim.SplitBySlot(samples) {
+		res.WindowMedians = append(res.WindowMedians, stats.Median(netsim.RTTs(w)))
+		sec := scheduler.EpochStart(w[0].T).Second()
+		if !seen[sec] {
+			seen[sec] = true
+			res.BoundarySeconds = append(res.BoundarySeconds, sec)
+		}
+	}
+	return res, nil
+}
+
+// WindowStatsResult is the §3 statistical test: Mann-Whitney U between
+// consecutive 15-second windows per terminal.
+type WindowStatsResult struct {
+	Terminal        string
+	Windows         int
+	Comparisons     int
+	SignificantFrac float64 // fraction with p < 0.05
+	MedianP         float64
+}
+
+// WindowStats runs the §3 test over a trace of the given duration for
+// every terminal.
+func (e *Env) WindowStats(dur time.Duration) ([]WindowStatsResult, error) {
+	if dur == 0 {
+		dur = 5 * time.Minute
+	}
+	var out []WindowStatsResult
+	for _, term := range e.Terminals {
+		path, err := netsim.NewPath(netsim.Config{
+			Constellation: e.Cons,
+			Scheduler:     e.Sched,
+			Terminal:      term,
+			Seed:          e.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		samples, err := path.Trace(e.Start(), dur, 20*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		windows := netsim.SplitBySlot(samples)
+		res := WindowStatsResult{Terminal: term.Name, Windows: len(windows)}
+		var ps []float64
+		for i := 1; i < len(windows); i++ {
+			a, b := netsim.RTTs(windows[i-1]), netsim.RTTs(windows[i])
+			if len(a) < 8 || len(b) < 8 {
+				continue
+			}
+			mw, err := stats.MannWhitneyU(a, b)
+			if err != nil {
+				continue
+			}
+			res.Comparisons++
+			ps = append(ps, mw.P)
+			if mw.P < 0.05 {
+				res.SignificantFrac++
+			}
+		}
+		if res.Comparisons > 0 {
+			res.SignificantFrac /= float64(res.Comparisons)
+			res.MedianP = stats.Median(ps)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig3Result is the obstruction-map walkthrough: two consecutive
+// snapshots, their XOR, a two-day filled map, and the parameters
+// recovered from it.
+type Fig3Result struct {
+	Prev, Cur, Diff *obstruction.Map
+	Filled          *obstruction.Map
+	Recovered       obstruction.Params
+}
+
+// Fig3 reproduces the §4 obstruction-map methodology for one terminal.
+func (e *Env) Fig3(terminalName string) (*Fig3Result, error) {
+	if terminalName == "" {
+		terminalName = "Iowa"
+	}
+	term, err := e.terminal(terminalName)
+	if err != nil {
+		return nil, err
+	}
+	start := e.Start()
+	// Slot t-1 and t: paint the true serving satellite's track.
+	m := obstruction.New()
+	allocs := e.Sched.Allocate(start)
+	var a0 scheduler.Allocation
+	for _, a := range allocs {
+		if a.Terminal == term.Name {
+			a0 = a
+		}
+	}
+	if a0.SatID == 0 {
+		return nil, fmt.Errorf("experiments: no allocation for %s", term.Name)
+	}
+	if err := e.Ident.PaintServingTrack(m, a0.SatID, term.VantagePoint, start); err != nil {
+		return nil, err
+	}
+	prev := m.Clone()
+
+	next := start.Add(scheduler.Period)
+	allocs = e.Sched.Allocate(next)
+	var a1 scheduler.Allocation
+	for _, a := range allocs {
+		if a.Terminal == term.Name {
+			a1 = a
+		}
+	}
+	if a1.SatID == 0 {
+		return nil, fmt.Errorf("experiments: no allocation for %s in second slot", term.Name)
+	}
+	if err := e.Ident.PaintServingTrack(m, a1.SatID, term.VantagePoint, next); err != nil {
+		return nil, err
+	}
+	cur := m.Clone()
+
+	// "Two days without reset": fill the plot disk by sweeping the sky.
+	filled := obstruction.New()
+	for el := 25.0; el <= 90; el += 0.4 {
+		for az := 0.0; az < 360; az += 0.4 {
+			filled.PaintPoint(obstruction.PolarPoint{ElevationDeg: el, AzimuthDeg: az})
+		}
+	}
+	params, err := obstruction.RecoverParams(filled)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{
+		Prev: prev, Cur: cur, Diff: obstruction.XOR(prev, cur),
+		Filled: filled, Recovered: params,
+	}, nil
+}
+
+// IdentResult is the §4 validation: identification accuracy against
+// ground truth, the reproduction's version of the 500-sample pilot
+// study.
+type IdentResult struct {
+	Attempted, Correct, Failed int
+	Accuracy                   float64
+	MedianMargin               float64
+}
+
+// IdentValidation runs a measured (non-oracle) campaign and scores the
+// identifications. naive switches to the nearest-endpoint ablation.
+func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
+	if slots == 0 {
+		slots = 125 // 125 slots x 4 terminals = 500 identifications
+	}
+	ident := *e.Ident
+	ident.UseNaiveMatcher = naive
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Scheduler:  e.Sched,
+		Identifier: &ident,
+		Start:      e.Start(),
+		Slots:      slots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var margins []float64
+	for _, r := range res.Records {
+		if r.SkipReason == "" && r.Margin > 0 {
+			margins = append(margins, r.Margin)
+		}
+	}
+	out := &IdentResult{
+		Attempted: res.Attempted,
+		Correct:   res.Correct,
+		Failed:    res.Failed,
+		Accuracy:  res.Accuracy(),
+	}
+	if len(margins) > 0 {
+		out.MedianMargin = stats.Median(margins)
+	}
+	return out, nil
+}
+
+// Observations runs an oracle campaign and returns the §5/§6 inputs.
+func (e *Env) Observations(slots int) ([]core.Observation, error) {
+	if slots == 0 {
+		slots = 500
+	}
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Scheduler:  e.Sched,
+		Identifier: e.Ident,
+		Start:      e.Start(),
+		Slots:      slots,
+		Oracle:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Observations(), nil
+}
+
+// Fig4 computes the angle-of-elevation analysis.
+func (e *Env) Fig4(obs []core.Observation) (*core.AOEAnalysis, error) {
+	return core.AnalyzeAOE(obs, 27)
+}
+
+// Fig5 computes the azimuth analysis.
+func (e *Env) Fig5(obs []core.Observation) (*core.AzimuthAnalysis, error) {
+	return core.AnalyzeAzimuth(obs, 27)
+}
+
+// Fig6 computes the launch-date analysis, excluding the obstructed
+// New York site from the mean as the paper does.
+func (e *Env) Fig6(obs []core.Observation) (*core.LaunchAnalysis, error) {
+	return core.AnalyzeLaunch(obs, "New York")
+}
+
+// Fig7 computes the sunlit analysis.
+func (e *Env) Fig7(obs []core.Observation) (*core.SunlitAnalysis, error) {
+	return core.AnalyzeSunlit(obs, 27)
+}
+
+// Fig8 trains and evaluates the §6 model.
+func (e *Env) Fig8(obs []core.Observation, cfg core.ModelConfig) (*core.ModelResult, error) {
+	d, err := core.BuildDataset(obs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = e.Seed + 1
+	}
+	return core.TrainModel(d, cfg)
+}
+
+// QuickModelConfig is a reduced grid for tests and benches.
+func QuickModelConfig(seed int64) core.ModelConfig {
+	return core.ModelConfig{
+		Folds: 3,
+		Grid:  []ml.ForestConfig{{NumTrees: 30, Tree: ml.TreeConfig{MaxDepth: 10}}},
+		Seed:  seed,
+	}
+}

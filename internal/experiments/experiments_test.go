@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+var (
+	envOnce sync.Once
+	envS    *Env
+	envObs  []core.Observation
+)
+
+func smallEnv(t testing.TB) (*Env, []core.Observation) {
+	t.Helper()
+	envOnce.Do(func() {
+		e, err := NewEnv(Config{Scale: Small, Seed: 3})
+		if err != nil {
+			panic(err)
+		}
+		obs, err := e.Observations(200)
+		if err != nil {
+			panic(err)
+		}
+		envS = e
+		envObs = obs
+	})
+	return envS, envObs
+}
+
+func TestNewEnvScales(t *testing.T) {
+	for _, s := range []Scale{Small, Medium} {
+		e, err := NewEnv(Config{Scale: s, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if e.Cons.Len() == 0 {
+			t.Fatalf("%s: empty constellation", s)
+		}
+	}
+	if _, err := NewEnv(Config{Scale: "bogus"}); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestFig2TraceShape(t *testing.T) {
+	e, _ := smallEnv(t)
+	res, err := e.Fig2("Madrid", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 3000 {
+		t.Errorf("%d samples", len(res.Samples))
+	}
+	// Boundary seconds must be within the paper's grid.
+	want := map[int]bool{12: true, 27: true, 42: true, 57: true}
+	for _, s := range res.BoundarySeconds {
+		if !want[s] {
+			t.Errorf("boundary at second %d", s)
+		}
+	}
+	if len(res.WindowMedians) < 4 {
+		t.Errorf("%d window medians", len(res.WindowMedians))
+	}
+}
+
+func TestFig2UnknownTerminal(t *testing.T) {
+	e, _ := smallEnv(t)
+	if _, err := e.Fig2("Atlantis", time.Minute); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	e, _ := smallEnv(t)
+	res, err := e.WindowStats(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d terminals", len(res))
+	}
+	for _, r := range res {
+		if r.Comparisons == 0 {
+			t.Errorf("%s: no comparisons", r.Terminal)
+			continue
+		}
+		if r.SignificantFrac < 0.5 {
+			t.Errorf("%s: only %.0f%% of windows significant", r.Terminal, r.SignificantFrac*100)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	e, _ := smallEnv(t)
+	res, err := e.Fig3("Iowa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diff.Count() == 0 {
+		t.Error("XOR diff empty")
+	}
+	if res.Recovered.RadiusPx < 44 || res.Recovered.RadiusPx > 46 {
+		t.Errorf("recovered radius %v", res.Recovered.RadiusPx)
+	}
+	if res.Recovered.CenterX < 60 || res.Recovered.CenterX > 62 {
+		t.Errorf("recovered center x %v", res.Recovered.CenterX)
+	}
+}
+
+func TestIdentValidationDTWBeatsNaive(t *testing.T) {
+	e, _ := smallEnv(t)
+	dtwRes, err := e.IdentValidation(25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRes, err := e.IdentValidation(25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtwRes.Attempted == 0 {
+		t.Fatal("no identifications attempted")
+	}
+	if dtwRes.Accuracy < 0.9 {
+		t.Errorf("DTW accuracy = %v", dtwRes.Accuracy)
+	}
+	if dtwRes.Accuracy < naiveRes.Accuracy {
+		t.Errorf("DTW (%v) worse than naive (%v)", dtwRes.Accuracy, naiveRes.Accuracy)
+	}
+}
+
+func TestFigs4Through7(t *testing.T) {
+	e, obs := smallEnv(t)
+	if len(obs) == 0 {
+		t.Skip("no observations at small scale")
+	}
+	f4, err := e.Fig4(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.MedianLiftDeg <= 0 {
+		t.Errorf("fig4 lift %v", f4.MedianLiftDeg)
+	}
+	f5, err := e.Fig5(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.PerTerminal) == 0 {
+		t.Error("fig5 empty")
+	}
+	f6, err := e.Fig6(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6.PerTerminal) == 0 {
+		t.Error("fig6 empty")
+	}
+	if _, err := e.Fig7(obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8QuickModel(t *testing.T) {
+	e, obs := smallEnv(t)
+	if len(obs) < 100 {
+		t.Skip("not enough observations")
+	}
+	res, err := e.Fig8(obs, QuickModelConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelTopK[0] <= 0 {
+		t.Error("model top-1 is zero")
+	}
+	if res.ModelTopK[0] <= res.BaselineTopK[0] {
+		t.Errorf("model top-1 %v <= baseline %v", res.ModelTopK[0], res.BaselineTopK[0])
+	}
+}
+
+func TestAblationEnvs(t *testing.T) {
+	// The ablation switches must produce working environments.
+	kep, err := NewEnv(Config{Scale: Small, Seed: 4, UseKeplerJ2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kep.Observations(10); err != nil {
+		t.Fatal(err)
+	}
+	noGSO, err := NewEnv(Config{Scale: Small, Seed: 4, GSOProtectionDeg: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noGSO.Observations(10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package geo
+
+import "repro/internal/astro"
+
+// PoP is a Starlink point of presence with a co-located ground
+// station. The paper's measurement servers sat at these PoPs, which is
+// what removed terrestrial-path noise from the RTT traces.
+type PoP struct {
+	Name     string
+	Location astro.Geodetic
+	// WiredDelayMs is the one-way ground-station-to-PoP wired latency.
+	WiredDelayMs float64
+}
+
+// StudyPoPs returns the PoPs the study's terminals home to.
+func StudyPoPs() []PoP {
+	return []PoP{
+		{Name: "chicago", Location: astro.Geodetic{LatDeg: 41.88, LonDeg: -87.63, AltKm: 0.18}, WiredDelayMs: 1.2},
+		{Name: "newyork", Location: astro.Geodetic{LatDeg: 40.71, LonDeg: -74.01, AltKm: 0.01}, WiredDelayMs: 1.0},
+		{Name: "madrid", Location: astro.Geodetic{LatDeg: 40.42, LonDeg: -3.70, AltKm: 0.65}, WiredDelayMs: 0.9},
+		{Name: "seattle", Location: astro.Geodetic{LatDeg: 47.61, LonDeg: -122.33, AltKm: 0.05}, WiredDelayMs: 1.1},
+		// Southern-hemisphere PoPs for the §8 generalization sites.
+		{Name: "sydney", Location: astro.Geodetic{LatDeg: -33.87, LonDeg: 151.21, AltKm: 0.05}, WiredDelayMs: 1.0},
+		{Name: "santiago", Location: astro.Geodetic{LatDeg: -33.45, LonDeg: -70.67, AltKm: 0.52}, WiredDelayMs: 2.5},
+		{Name: "quito", Location: astro.Geodetic{LatDeg: -0.18, LonDeg: -78.47, AltKm: 2.85}, WiredDelayMs: 1.5},
+	}
+}
+
+// PoPByName finds a study PoP.
+func PoPByName(name string) (PoP, bool) {
+	for _, p := range StudyPoPs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PoP{}, false
+}

@@ -1,0 +1,264 @@
+// Package iperf implements the bulk-throughput measurement the study
+// ran alongside its RTT probes (iPerf3 pinned to 50% of the upstream
+// rate, §3 "Experiment setup: Measurements"): a TCP client streams
+// paced data to a server, and the server reports per-interval
+// goodput.
+//
+// Protocol: the client opens a TCP connection, sends one framed JSON
+// header describing the test, streams payload bytes, then half-closes.
+// The server replies with a framed JSON report. Frames are 4-byte
+// big-endian length + JSON, the same convention as dishrpc.
+package iperf
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// maxFrame bounds control-frame sizes.
+const maxFrame = 1 << 20
+
+// chunkSize is the payload write granularity.
+const chunkSize = 8 << 10
+
+// ErrProtocol reports a malformed control exchange.
+var ErrProtocol = errors.New("iperf: protocol error")
+
+// Params describes a test, sent by the client.
+type Params struct {
+	// Duration of the send phase.
+	Duration time.Duration `json:"duration_ns"`
+	// RateBitsPerSec paces the sender; 0 means unpaced (full speed).
+	RateBitsPerSec float64 `json:"rate_bps"`
+	// ReportInterval buckets the server's accounting. Default 500 ms.
+	ReportInterval time.Duration `json:"report_interval_ns"`
+}
+
+func (p *Params) applyDefaults() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("iperf: non-positive duration %v", p.Duration)
+	}
+	if p.RateBitsPerSec < 0 {
+		return fmt.Errorf("iperf: negative rate %v", p.RateBitsPerSec)
+	}
+	if p.ReportInterval <= 0 {
+		p.ReportInterval = 500 * time.Millisecond
+	}
+	return nil
+}
+
+// Interval is one accounting bucket of received data.
+type Interval struct {
+	Start time.Duration `json:"start_ns"` // since first byte
+	Bytes int64         `json:"bytes"`
+}
+
+// Mbps converts an interval to megabits/second given its length.
+func (iv Interval) Mbps(length time.Duration) float64 {
+	if length <= 0 {
+		return 0
+	}
+	return float64(iv.Bytes) * 8 / length.Seconds() / 1e6
+}
+
+// Report is the server's accounting for one test.
+type Report struct {
+	TotalBytes     int64         `json:"total_bytes"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	ReportInterval time.Duration `json:"report_interval_ns"`
+	Intervals      []Interval    `json:"intervals"`
+}
+
+// MeanMbps is the whole-test goodput.
+func (r *Report) MeanMbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) * 8 / r.Elapsed.Seconds() / 1e6
+}
+
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("iperf: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("%w: oversize frame", ErrProtocol)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("iperf: write frame: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("iperf: write frame: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("iperf: read frame: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: bad json: %v", ErrProtocol, err)
+	}
+	return nil
+}
+
+// Server accepts throughput tests.
+type Server struct {
+	ln net.Listener
+}
+
+// NewServer listens on addr.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: listen %q: %w", addr, err)
+	}
+	return &Server{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve accepts tests until ctx is canceled.
+func (s *Server) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("iperf: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	var params Params
+	if err := readFrame(conn, &params); err != nil {
+		return
+	}
+	if err := params.applyDefaults(); err != nil {
+		return
+	}
+	// Guard against stuck senders.
+	conn.SetReadDeadline(time.Now().Add(params.Duration + 10*time.Second))
+
+	report := Report{ReportInterval: params.ReportInterval}
+	buf := make([]byte, 64<<10)
+	var start time.Time
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			if start.IsZero() {
+				start = now
+			}
+			since := now.Sub(start)
+			idx := int(since / params.ReportInterval)
+			for len(report.Intervals) <= idx {
+				report.Intervals = append(report.Intervals, Interval{
+					Start: time.Duration(len(report.Intervals)) * params.ReportInterval,
+				})
+			}
+			report.Intervals[idx].Bytes += int64(n)
+			report.TotalBytes += int64(n)
+			report.Elapsed = since
+		}
+		if err != nil {
+			break // EOF = client half-closed; anything else ends the test too
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	writeFrame(conn, &report)
+}
+
+// Run executes one test against a server and returns its report.
+func Run(ctx context.Context, addr string, params Params) (*Report, error) {
+	if err := params.applyDefaults(); err != nil {
+		return nil, err
+	}
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: dial %q: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &params); err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, chunkSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	var sent int64
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= params.Duration || ctx.Err() != nil {
+			break
+		}
+		if params.RateBitsPerSec > 0 {
+			// Token bucket: how many bytes should have left by now?
+			target := int64(params.RateBitsPerSec / 8 * elapsed.Seconds())
+			if sent >= target {
+				// Ahead of schedule: sleep until the next chunk is due.
+				due := float64(sent+chunkSize) * 8 / params.RateBitsPerSec
+				sleep := time.Duration(due*float64(time.Second)) - elapsed
+				if sleep > 0 {
+					select {
+					case <-time.After(sleep):
+					case <-ctx.Done():
+					}
+					continue
+				}
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		n, err := conn.Write(payload)
+		sent += int64(n)
+		if err != nil {
+			return nil, fmt.Errorf("iperf: send: %w", err)
+		}
+	}
+	// Half-close to signal end of data, then collect the report.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return nil, fmt.Errorf("iperf: close-write: %w", err)
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var report Report
+	if err := readFrame(conn, &report); err != nil {
+		return nil, fmt.Errorf("iperf: read report: %w", err)
+	}
+	return &report, nil
+}

@@ -1,0 +1,162 @@
+package iperf
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+	return srv
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Params{Duration: time.Second, RateBitsPerSec: 1e6}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Params
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Duration != in.Duration || out.RateBitsPerSec != in.RateBitsPerSec {
+		t.Errorf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := Params{}
+	if err := p.applyDefaults(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	p = Params{Duration: time.Second, RateBitsPerSec: -5}
+	if err := p.applyDefaults(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	p = Params{Duration: time.Second}
+	if err := p.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReportInterval != 500*time.Millisecond {
+		t.Errorf("default report interval %v", p.ReportInterval)
+	}
+}
+
+func TestPacedRunHitsTargetRate(t *testing.T) {
+	srv := startServer(t)
+	const rate = 40e6 // 40 Mbit/s, comfortably below loopback capacity
+	report, err := Run(context.Background(), srv.Addr().String(), Params{
+		Duration:       1200 * time.Millisecond,
+		RateBitsPerSec: rate,
+		ReportInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := report.MeanMbps()
+	if math.Abs(got-40)/40 > 0.25 {
+		t.Errorf("paced run achieved %.1f Mbps, want ~40", got)
+	}
+	if len(report.Intervals) < 4 {
+		t.Errorf("only %d intervals", len(report.Intervals))
+	}
+	// Interval accounting must sum to the total.
+	var sum int64
+	for _, iv := range report.Intervals {
+		sum += iv.Bytes
+	}
+	if sum != report.TotalBytes {
+		t.Errorf("interval sum %d != total %d", sum, report.TotalBytes)
+	}
+}
+
+func TestUnpacedRunFasterThanPaced(t *testing.T) {
+	srv := startServer(t)
+	paced, err := Run(context.Background(), srv.Addr().String(), Params{
+		Duration:       300 * time.Millisecond,
+		RateBitsPerSec: 10e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpaced, err := Run(context.Background(), srv.Addr().String(), Params{
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpaced.MeanMbps() <= paced.MeanMbps() {
+		t.Errorf("unpaced %.1f Mbps <= paced %.1f Mbps", unpaced.MeanMbps(), paced.MeanMbps())
+	}
+}
+
+func TestIntervalMbps(t *testing.T) {
+	iv := Interval{Bytes: 1_250_000} // 10 Mbit
+	if got := iv.Mbps(time.Second); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Mbps = %v", got)
+	}
+	if iv.Mbps(0) != 0 {
+		t.Error("zero-length interval should be 0")
+	}
+}
+
+func TestReportMeanEmpty(t *testing.T) {
+	var r Report
+	if r.MeanMbps() != 0 {
+		t.Error("empty report mean should be 0")
+	}
+}
+
+func TestRunBadAddress(t *testing.T) {
+	if _, err := Run(context.Background(), "127.0.0.1:1", Params{Duration: time.Second}); err == nil {
+		t.Error("closed port accepted")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	srv := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// A long test canceled early must stop sending promptly. The report
+	// still arrives (the server sees EOF when we return and close).
+	_, err := Run(ctx, srv.Addr().String(), Params{Duration: 10 * time.Second, RateBitsPerSec: 1e6})
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("cancel did not stop the run")
+	}
+	_ = err // either a report or a read error is acceptable on cancel
+}
+
+func TestServerIgnoresGarbageHeader(t *testing.T) {
+	srv := startServer(t)
+	// A client that sends a garbage frame gets dropped; the server must
+	// keep serving.
+	conn, err := netDial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0, 0, 0, 3, '{', '{', '{'})
+	conn.Close()
+
+	report, err := Run(context.Background(), srv.Addr().String(), Params{Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalBytes == 0 {
+		t.Error("server dead after garbage")
+	}
+}
+
+func netDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

@@ -1,0 +1,216 @@
+package irtt
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, delay DelayFunc) (*Server, context.CancelFunc) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+	return srv, cancel
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := packet{Type: typeRequest, Seq: 12345, ClientSend: 987654321}
+	buf := p.marshal(nil)
+	if len(buf) != packetSize {
+		t.Fatalf("marshaled %d bytes", len(buf))
+	}
+	q, err := parsePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip %+v -> %+v", p, q)
+	}
+}
+
+func TestPacketValidation(t *testing.T) {
+	p := packet{Type: typeReply, Seq: 7, ClientSend: 1, ServerRecv: 2}
+	buf := p.marshal(nil)
+
+	short := buf[:20]
+	if _, err := parsePacket(short); !errors.Is(err, ErrBadPacket) {
+		t.Error("short packet accepted")
+	}
+
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, err := parsePacket(bad); !errors.Is(err, ErrBadPacket) {
+		t.Error("bad magic accepted")
+	}
+
+	flip := append([]byte(nil), buf...)
+	flip[10] ^= 0xFF
+	if _, err := parsePacket(flip); !errors.Is(err, ErrBadPacket) {
+		t.Error("corrupted payload accepted (checksum)")
+	}
+
+	badType := packet{Type: 9, Seq: 1}
+	raw := badType.marshal(nil)
+	if _, err := parsePacket(raw); !errors.Is(err, ErrBadPacket) {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestClientServerLoopback(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	results, err := Run(context.Background(), srv.Addr().String(), ClientConfig{
+		Interval: 2 * time.Millisecond,
+		Count:    50,
+		Timeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 50 {
+		t.Fatalf("%d results", len(results))
+	}
+	sum := Summarize(results)
+	if sum.LossRate > 0.1 {
+		t.Errorf("loopback loss rate = %v", sum.LossRate)
+	}
+	if sum.Received == 0 {
+		t.Fatal("no replies")
+	}
+	if sum.MedianRTT <= 0 || sum.MedianRTT > 100*time.Millisecond {
+		t.Errorf("median loopback RTT = %v", sum.MedianRTT)
+	}
+	served, dropped := srv.Stats()
+	if served == 0 || dropped != 0 {
+		t.Errorf("server stats: served=%d dropped=%d", served, dropped)
+	}
+}
+
+func TestInjectedDelayShowsInRTT(t *testing.T) {
+	const inject = 30 * time.Millisecond
+	srv, _ := startServer(t, func(time.Time) (time.Duration, bool) { return inject, false })
+	results, err := Run(context.Background(), srv.Addr().String(), ClientConfig{
+		Interval: 5 * time.Millisecond,
+		Count:    20,
+		Timeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if sum.Received == 0 {
+		t.Fatal("no replies")
+	}
+	if sum.MedianRTT < inject {
+		t.Errorf("median RTT %v below injected delay %v", sum.MedianRTT, inject)
+	}
+	if sum.MedianRTT > inject+80*time.Millisecond {
+		t.Errorf("median RTT %v way above injected delay", sum.MedianRTT)
+	}
+}
+
+func TestInjectedLoss(t *testing.T) {
+	n := 0
+	srv, _ := startServer(t, func(time.Time) (time.Duration, bool) {
+		n++
+		return 0, n%2 == 0 // drop every other probe
+	})
+	results, err := Run(context.Background(), srv.Addr().String(), ClientConfig{
+		Interval: 2 * time.Millisecond,
+		Count:    60,
+		Timeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if sum.LossRate < 0.3 || sum.LossRate > 0.7 {
+		t.Errorf("loss rate = %v, want ~0.5", sum.LossRate)
+	}
+	_, dropped := srv.Stats()
+	if dropped == 0 {
+		t.Error("server recorded no drops")
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, srv.Addr().String(), ClientConfig{
+		Interval: 10 * time.Millisecond,
+		Count:    1000,
+		Timeout:  time.Second,
+	})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancel did not stop the run promptly")
+	}
+}
+
+func TestRunBadAddress(t *testing.T) {
+	if _, err := Run(context.Background(), "not-an-address:xyz", ClientConfig{}); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Sent != 0 || s.Received != 0 || s.LossRate != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	all := Summarize([]Result{{Lost: true}, {Lost: true}})
+	if all.LossRate != 1 {
+		t.Errorf("all-lost loss rate = %v", all.LossRate)
+	}
+}
+
+func TestSummarizeOrderStats(t *testing.T) {
+	rs := []Result{
+		{RTT: 30 * time.Millisecond},
+		{RTT: 10 * time.Millisecond},
+		{RTT: 20 * time.Millisecond},
+	}
+	s := Summarize(rs)
+	if s.MinRTT != 10*time.Millisecond || s.MedianRTT != 20*time.Millisecond || s.MaxRTT != 30*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	// Fire garbage at the server, then verify a normal run still works.
+	conn, err := netDial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("garbage"))
+	conn.Write(make([]byte, packetSize)) // right size, wrong magic
+	conn.Close()
+
+	results, err := Run(context.Background(), srv.Addr().String(), ClientConfig{
+		Interval: 2 * time.Millisecond, Count: 10, Timeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summarize(results).Received == 0 {
+		t.Error("server stopped echoing after garbage")
+	}
+}
+
+// netDial is a tiny helper so the garbage test doesn't import net at
+// the top level of every test.
+func netDial(addr string) (io.WriteCloser, error) {
+	return net.Dial("udp", addr)
+}

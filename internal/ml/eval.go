@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Ranker is anything that can rank classes for an input — the trained
+// forest and the availability baseline both satisfy it, which is what
+// lets the Figure 8 comparison treat them symmetrically.
+type Ranker interface {
+	// RankClasses returns class indices in descending preference.
+	RankClasses(x []float64) ([]int, error)
+}
+
+// ForestRanker adapts a Forest to the Ranker interface.
+type ForestRanker struct{ *Forest }
+
+// RankClasses ranks by predicted probability.
+func (f ForestRanker) RankClasses(x []float64) ([]int, error) {
+	p, err := f.PredictProba(x)
+	if err != nil {
+		return nil, err
+	}
+	return TopKOf(p, 0), nil
+}
+
+// RankerFunc adapts a function to Ranker.
+type RankerFunc func(x []float64) ([]int, error)
+
+// RankClasses calls the function.
+func (fn RankerFunc) RankClasses(x []float64) ([]int, error) { return fn(x) }
+
+// TopKAccuracy returns the fraction of test rows whose true label
+// appears in the ranker's first k classes.
+func TopKAccuracy(r Ranker, d *Dataset, k int) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("ml: top-k needs k >= 1, got %d", k)
+	}
+	hit := 0
+	for i, x := range d.X {
+		ranked, err := r.RankClasses(x)
+		if err != nil {
+			return 0, fmt.Errorf("ml: ranking row %d: %w", i, err)
+		}
+		top := ranked
+		if k < len(top) {
+			top = top[:k]
+		}
+		for _, c := range top {
+			if c == d.Y[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(d.X)), nil
+}
+
+// TopKCurve evaluates TopKAccuracy for k = 1..maxK in one pass per row.
+func TopKCurve(r Ranker, d *Dataset, maxK int) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if maxK <= 0 {
+		return nil, fmt.Errorf("ml: maxK = %d", maxK)
+	}
+	hits := make([]int, maxK)
+	for i, x := range d.X {
+		ranked, err := r.RankClasses(x)
+		if err != nil {
+			return nil, fmt.Errorf("ml: ranking row %d: %w", i, err)
+		}
+		for pos, c := range ranked {
+			if pos >= maxK {
+				break
+			}
+			if c == d.Y[i] {
+				for k := pos; k < maxK; k++ {
+					hits[k]++
+				}
+				break
+			}
+		}
+	}
+	out := make([]float64, maxK)
+	for k := range out {
+		out[k] = float64(hits[k]) / float64(len(d.X))
+	}
+	return out, nil
+}
+
+// TrainTestSplit shuffles row indices and splits them with the given
+// holdout fraction (e.g. 0.2 for the paper's 80/20 protocol).
+func TrainTestSplit(n int, holdoutFrac float64, rng *rand.Rand) (train, test []int, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ml: cannot split %d rows", n)
+	}
+	if holdoutFrac <= 0 || holdoutFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: holdout fraction %v out of (0,1)", holdoutFrac)
+	}
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * holdoutFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	return perm[nTest:], perm[:nTest], nil
+}
+
+// StratifiedKFold partitions row indices into k folds with per-class
+// round-robin assignment, so each fold sees every class in proportion.
+func StratifiedKFold(d *Dataset, k int, rng *rand.Rand) ([][]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 || k > len(d.Y) {
+		return nil, fmt.Errorf("ml: k = %d folds for %d rows", k, len(d.Y))
+	}
+	byClass := map[int][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	folds := make([][]int, k)
+	next := 0
+	for _, c := range classes {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for _, r := range rows {
+			folds[next%k] = append(folds[next%k], r)
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// CrossValidateForest trains on k-1 folds and evaluates top-k accuracy
+// on the held-out fold, returning the mean across folds.
+func CrossValidateForest(d *Dataset, cfg ForestConfig, folds [][]int, topK int) (float64, error) {
+	if len(folds) < 2 {
+		return 0, fmt.Errorf("ml: need >= 2 folds, got %d", len(folds))
+	}
+	total := 0.0
+	for i := range folds {
+		var trainIdx []int
+		for j, f := range folds {
+			if j != i {
+				trainIdx = append(trainIdx, f...)
+			}
+		}
+		if len(trainIdx) == 0 || len(folds[i]) == 0 {
+			return 0, fmt.Errorf("ml: fold %d is degenerate", i)
+		}
+		forest, err := FitForest(d.Subset(trainIdx), cfg)
+		if err != nil {
+			return 0, err
+		}
+		acc, err := TopKAccuracy(ForestRanker{forest}, d.Subset(folds[i]), topK)
+		if err != nil {
+			return 0, err
+		}
+		total += acc
+	}
+	return total / float64(len(folds)), nil
+}
+
+// GridPoint is one hyperparameter combination with its CV score.
+type GridPoint struct {
+	Config ForestConfig
+	Score  float64
+}
+
+// GridSearch cross-validates every config and returns them sorted by
+// descending score (best first). Ties keep input order.
+func GridSearch(d *Dataset, configs []ForestConfig, numFolds, topK int, seed int64) ([]GridPoint, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("ml: empty grid")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	folds, err := StratifiedKFold(d, numFolds, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GridPoint, 0, len(configs))
+	for _, cfg := range configs {
+		score, err := CrossValidateForest(d, cfg, folds, topK)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GridPoint{Config: cfg, Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	NumTrees int // default 100
+	Tree     TreeConfig
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+func (c ForestConfig) normalized() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.Tree.MaxFeatures == 0 {
+		c.Tree.MaxFeatures = -1 // sqrt, the forest default
+	}
+	return c
+}
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees       []*Tree
+	numClasses  int
+	numFeatures int
+}
+
+// FitForest trains a bagged ensemble of CART trees.
+func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{numClasses: d.NumClasses, numFeatures: len(d.X[0])}
+	n := len(d.X)
+	for i := 0; i < cfg.NumTrees; i++ {
+		boot := make([]int, n)
+		for j := range boot {
+			boot[j] = rng.Intn(n)
+		}
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		t, err := FitTree(d.Subset(boot), cfg.Tree, treeRng)
+		if err != nil {
+			return nil, fmt.Errorf("ml: tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// PredictProba averages the trees' leaf distributions.
+func (f *Forest) PredictProba(x []float64) ([]float64, error) {
+	if len(x) != f.numFeatures {
+		return nil, fmt.Errorf("ml: input has %d features, forest trained on %d", len(x), f.numFeatures)
+	}
+	out := make([]float64, f.numClasses)
+	for _, t := range f.trees {
+		p, err := t.PredictProba(x)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out, nil
+}
+
+// Predict returns the most probable class.
+func (f *Forest) Predict(x []float64) (int, error) {
+	p, err := f.PredictProba(x)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(p), nil
+}
+
+// TopK returns the k most probable classes, descending; ties break by
+// lower class index for determinism.
+func (f *Forest) TopK(x []float64, k int) ([]int, error) {
+	p, err := f.PredictProba(x)
+	if err != nil {
+		return nil, err
+	}
+	return TopKOf(p, k), nil
+}
+
+// TopKOf ranks a probability/count vector and returns the first k
+// indices (all of them when k <= 0 or k > len).
+func TopKOf(p []float64, k int) []int {
+	idx := make([]int, len(p))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p[idx[a]] > p[idx[b]] })
+	if k <= 0 || k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// NumTrees reports ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Importance averages the trees' normalized gini importances.
+func (f *Forest) Importance() []float64 {
+	out := make([]float64, f.numFeatures)
+	for _, t := range f.trees {
+		for i, v := range t.Importance() {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// ImportanceRanking returns feature indices sorted by descending
+// importance.
+func (f *Forest) ImportanceRanking() []int {
+	return TopKOf(f.Importance(), 0)
+}

@@ -1,0 +1,355 @@
+// Package ml implements the learning stack the paper's §6 model needs,
+// from scratch on the standard library: CART decision trees split on
+// gini impurity, bootstrap-aggregated random forests with feature
+// subsampling, gini feature importance, stratified k-fold
+// cross-validation, grid search, and the top-k accuracy metric used to
+// compare the model against the most-populated-cluster baseline.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is a supervised classification dataset. Rows of X are
+// feature vectors; Y holds class labels in [0, NumClasses).
+type Dataset struct {
+	X          [][]float64
+	Y          []int
+	NumClasses int
+}
+
+// Validate checks shape invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.NumClasses <= 0 {
+		return fmt.Errorf("ml: NumClasses = %d", d.NumClasses)
+	}
+	width := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != width {
+			return fmt.Errorf("ml: row %d has %d features, row 0 has %d", i, len(row), width)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.NumClasses {
+			return fmt.Errorf("ml: label %d at row %d out of [0,%d)", y, i, d.NumClasses)
+		}
+	}
+	return nil
+}
+
+// Subset returns the dataset restricted to the given row indices
+// (shared backing arrays; do not mutate rows).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{NumClasses: d.NumClasses}
+	out.X = make([][]float64, len(idx))
+	out.Y = make([]int, len(idx))
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// TreeConfig controls CART growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples in a leaf; 0 means 1.
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum samples to attempt a split; 0
+	// means 2.
+	MinSamplesSplit int
+	// MaxFeatures is the number of features considered per split; 0
+	// means all, -1 means floor(sqrt(numFeatures)) (the random-forest
+	// default).
+	MaxFeatures int
+}
+
+func (c TreeConfig) normalized(numFeatures int) TreeConfig {
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 1
+	}
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	switch {
+	case c.MaxFeatures == 0 || c.MaxFeatures > numFeatures:
+		c.MaxFeatures = numFeatures
+	case c.MaxFeatures < 0:
+		c.MaxFeatures = int(math.Sqrt(float64(numFeatures)))
+		if c.MaxFeatures < 1 {
+			c.MaxFeatures = 1
+		}
+	}
+	return c
+}
+
+// node is one tree node; leaves carry the class distribution.
+type node struct {
+	feature   int // -1 for leaf
+	threshold float64
+	left      int32
+	right     int32
+	probs     []float64 // leaf class distribution
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	nodes       []node
+	numClasses  int
+	numFeatures int
+	importance  []float64 // unnormalized gini-decrease per feature
+}
+
+// FitTree grows a CART tree. The rng drives feature subsampling; pass
+// nil for deterministic all-features behaviour.
+func FitTree(d *Dataset, cfg TreeConfig, rng *rand.Rand) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	numFeatures := len(d.X[0])
+	cfg = cfg.normalized(numFeatures)
+	if cfg.MaxFeatures < numFeatures && rng == nil {
+		return nil, fmt.Errorf("ml: feature subsampling requires an rng")
+	}
+	t := &Tree{
+		numClasses:  d.NumClasses,
+		numFeatures: numFeatures,
+		importance:  make([]float64, numFeatures),
+	}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &treeBuilder{d: d, cfg: cfg, rng: rng, t: t, total: float64(len(idx))}
+	b.grow(idx, 0)
+	return t, nil
+}
+
+type treeBuilder struct {
+	d     *Dataset
+	cfg   TreeConfig
+	rng   *rand.Rand
+	t     *Tree
+	total float64
+}
+
+// classCounts tallies labels of the subset.
+func (b *treeBuilder) classCounts(idx []int) []float64 {
+	counts := make([]float64, b.d.NumClasses)
+	for _, i := range idx {
+		counts[b.d.Y[i]]++
+	}
+	return counts
+}
+
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+func pure(counts []float64) bool {
+	seen := false
+	for _, c := range counts {
+		if c > 0 {
+			if seen {
+				return false
+			}
+			seen = true
+		}
+	}
+	return true
+}
+
+// grow builds the subtree for idx and returns its node index.
+func (b *treeBuilder) grow(idx []int, depth int) int32 {
+	counts := b.classCounts(idx)
+	n := float64(len(idx))
+
+	makeLeaf := func() int32 {
+		probs := make([]float64, len(counts))
+		for i, c := range counts {
+			probs[i] = c / n
+		}
+		b.t.nodes = append(b.t.nodes, node{feature: -1, probs: probs})
+		return int32(len(b.t.nodes) - 1)
+	}
+
+	if len(idx) < b.cfg.MinSamplesSplit ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		pure(counts) {
+		return makeLeaf()
+	}
+
+	feature, threshold, gain := b.bestSplit(idx, counts, n)
+	if feature < 0 {
+		return makeLeaf()
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if b.d.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return makeLeaf()
+	}
+
+	// Importance: impurity decrease weighted by the node's share of
+	// training samples (scikit-learn's convention).
+	b.t.importance[feature] += n / b.total * gain
+
+	// Reserve this node's slot before growing children.
+	me := int32(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, node{feature: feature, threshold: threshold})
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.t.nodes[me].left = l
+	b.t.nodes[me].right = r
+	return me
+}
+
+// bestSplit searches the sampled features for the gini-optimal
+// threshold. Returns feature -1 when no split improves impurity.
+func (b *treeBuilder) bestSplit(idx []int, parentCounts []float64, n float64) (int, float64, float64) {
+	parentGini := gini(parentCounts, n)
+	bestFeature := -1
+	bestThreshold := 0.0
+	bestGain := 1e-12 // require a strictly positive gain
+
+	features := b.sampleFeatures()
+	// Reusable buffers for the scan.
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, len(idx))
+	leftCounts := make([]float64, b.d.NumClasses)
+
+	for _, f := range features {
+		for i, r := range idx {
+			pairs[i] = pair{v: b.d.X[r][f], y: b.d.Y[r]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue // constant feature
+		}
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		rightCounts := append([]float64(nil), parentCounts...)
+		for i := 0; i < len(pairs)-1; i++ {
+			leftCounts[pairs[i].y]++
+			rightCounts[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue // can't split between equal values
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			if int(nl) < b.cfg.MinSamplesLeaf || int(nr) < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			g := parentGini - (nl/n)*gini(leftCounts, nl) - (nr/n)*gini(rightCounts, nr)
+			if g > bestGain {
+				bestGain = g
+				bestFeature = f
+				bestThreshold = (pairs[i].v + pairs[i+1].v) / 2
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestGain
+}
+
+// sampleFeatures picks cfg.MaxFeatures distinct feature indices.
+func (b *treeBuilder) sampleFeatures() []int {
+	nf := b.t.numFeatures
+	if b.cfg.MaxFeatures >= nf {
+		out := make([]int, nf)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return b.rng.Perm(nf)[:b.cfg.MaxFeatures]
+}
+
+// PredictProba returns the class distribution for one feature vector.
+func (t *Tree) PredictProba(x []float64) ([]float64, error) {
+	if len(x) != t.numFeatures {
+		return nil, fmt.Errorf("ml: input has %d features, tree trained on %d", len(x), t.numFeatures)
+	}
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.probs, nil
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Predict returns the most probable class.
+func (t *Tree) Predict(x []float64) (int, error) {
+	p, err := t.PredictProba(x)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(p), nil
+}
+
+// NumNodes reports tree size.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Importance returns the normalized gini importance per feature
+// (sums to 1 when any split happened).
+func (t *Tree) Importance() []float64 {
+	out := append([]float64(nil), t.importance...)
+	normalize(out)
+	return out
+}
+
+func normalize(xs []float64) {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,408 @@
+// Package obstruction implements the Starlink dish obstruction map:
+// a 123×123 1-bit image on which the terminal paints the sky-track of
+// every satellite it has connected to since its last reset. The image
+// is a polar plot — the radius encodes angle of elevation from 90° at
+// the center to 25° at the rim (45 px out), and the angle encodes
+// azimuth clockwise from north.
+//
+// The paper's §4 methodology lives here: painting tracks with
+// overwrite-until-reset semantics, XOR-ing consecutive snapshots to
+// isolate the newest trajectory, recovering the plot parameters from a
+// filled map (bounding-box method), and converting pixels back to
+// (elevation, azimuth) pairs.
+package obstruction
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Geometry of the gRPC obstruction map, as recovered in the paper.
+const (
+	// Size is the image width and height in pixels.
+	Size = 123
+	// PlotRadius is the radius of the contained polar plot in pixels.
+	PlotRadius = 45
+	// MaxElevDeg is the elevation at the plot center.
+	MaxElevDeg = 90
+	// MinElevDeg is the elevation at the plot rim (the terminal's
+	// visibility mask).
+	MinElevDeg = 25
+)
+
+// center of the polar plot, 0-indexed. The paper reports the center as
+// 62×62 counting pixels from 1; 0-indexed that is (61, 61).
+const center = (Size - 1) / 2
+
+// Map is one obstruction map snapshot. Pixels are addressed [y][x]
+// with y growing downward (image convention); north is up.
+type Map struct {
+	pix [Size * Size]bool
+}
+
+// New returns an empty map (fresh after terminal reset).
+func New() *Map { return &Map{} }
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	out := &Map{}
+	out.pix = m.pix
+	return out
+}
+
+// Reset clears every pixel, as a terminal reboot does.
+func (m *Map) Reset() { m.pix = [Size * Size]bool{} }
+
+// At reports whether pixel (x, y) is set. Out-of-range is false.
+func (m *Map) At(x, y int) bool {
+	if x < 0 || x >= Size || y < 0 || y >= Size {
+		return false
+	}
+	return m.pix[y*Size+x]
+}
+
+// Set marks pixel (x, y). Out-of-range is ignored.
+func (m *Map) Set(x, y int) {
+	if x < 0 || x >= Size || y < 0 || y >= Size {
+		return
+	}
+	m.pix[y*Size+x] = true
+}
+
+// Count returns the number of set pixels.
+func (m *Map) Count() int {
+	n := 0
+	for _, p := range m.pix {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports pixel-exact equality.
+func (m *Map) Equal(o *Map) bool { return m.pix == o.pix }
+
+// PolarPoint is a sky direction in terminal-topocentric coordinates.
+type PolarPoint struct {
+	ElevationDeg float64
+	AzimuthDeg   float64
+}
+
+// pixelOf converts a sky direction to image coordinates. ok is false
+// when the direction is outside the plot (below the mask).
+func pixelOf(p PolarPoint) (x, y int, ok bool) {
+	if p.ElevationDeg < MinElevDeg || p.ElevationDeg > MaxElevDeg {
+		return 0, 0, false
+	}
+	r := (MaxElevDeg - p.ElevationDeg) / (MaxElevDeg - MinElevDeg) * PlotRadius
+	az := units.Deg2Rad(p.AzimuthDeg)
+	fx := float64(center) + r*math.Sin(az)
+	fy := float64(center) - r*math.Cos(az)
+	return int(math.Round(fx)), int(math.Round(fy)), true
+}
+
+// SkyOf converts a pixel back to a sky direction; ok is false for
+// pixels outside the plot disk.
+func SkyOf(x, y int) (PolarPoint, bool) {
+	dx := float64(x - center)
+	dy := float64(y - center)
+	r := math.Hypot(dx, dy)
+	if r > PlotRadius+0.5 {
+		return PolarPoint{}, false
+	}
+	el := MaxElevDeg - r/PlotRadius*(MaxElevDeg-MinElevDeg)
+	az := units.Rad2Deg(math.Atan2(dx, -dy))
+	return PolarPoint{ElevationDeg: el, AzimuthDeg: units.WrapDeg360(az)}, true
+}
+
+// PaintPoint marks the pixel under a sky direction (no-op below the
+// mask).
+func (m *Map) PaintPoint(p PolarPoint) {
+	if x, y, ok := pixelOf(p); ok {
+		m.Set(x, y)
+	}
+}
+
+// PaintTrack paints a polyline through consecutive sky samples,
+// connecting them with Bresenham segments so a sampled trajectory
+// appears as the continuous stroke the dish records.
+func (m *Map) PaintTrack(points []PolarPoint) {
+	var prevX, prevY int
+	havePrev := false
+	for _, p := range points {
+		x, y, ok := pixelOf(p)
+		if !ok {
+			havePrev = false
+			continue
+		}
+		if havePrev {
+			m.line(prevX, prevY, x, y)
+		} else {
+			m.Set(x, y)
+		}
+		prevX, prevY = x, y
+		havePrev = true
+	}
+}
+
+// line draws with the classic integer Bresenham algorithm.
+func (m *Map) line(x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		m.Set(x0, y0)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// XOR returns the symmetric difference of two snapshots. Because the
+// dish only ever adds pixels between resets, XOR(prev, cur) isolates
+// exactly the pixels painted since prev — the trajectory of the
+// satellite serving the terminal in the newest slot (paper Fig. 3d).
+func XOR(prev, cur *Map) *Map {
+	out := &Map{}
+	for i := range out.pix {
+		out.pix[i] = prev.pix[i] != cur.pix[i]
+	}
+	return out
+}
+
+// Union returns the overlay of two snapshots.
+func Union(a, b *Map) *Map {
+	out := &Map{}
+	for i := range out.pix {
+		out.pix[i] = a.pix[i] || b.pix[i]
+	}
+	return out
+}
+
+// Pixels returns the coordinates of all set pixels in scan order.
+func (m *Map) Pixels() [][2]int {
+	var out [][2]int
+	for y := 0; y < Size; y++ {
+		for x := 0; x < Size; x++ {
+			if m.pix[y*Size+x] {
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// Track converts the set pixels to sky directions ordered along the
+// trajectory. Pixel sets are unordered, so the points are sorted by
+// their projection onto the principal axis of the point cloud, which
+// recovers the along-track order for the short, nearly straight arcs
+// a 15-second slot paints.
+func (m *Map) Track() []PolarPoint {
+	px := m.Pixels()
+	if len(px) == 0 {
+		return nil
+	}
+	// Principal axis via the 2x2 covariance eigenvector.
+	var mx, my float64
+	for _, p := range px {
+		mx += float64(p[0])
+		my += float64(p[1])
+	}
+	n := float64(len(px))
+	mx /= n
+	my /= n
+	var sxx, sxy, syy float64
+	for _, p := range px {
+		dx := float64(p[0]) - mx
+		dy := float64(p[1]) - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	// Leading eigenvector of [[sxx sxy][sxy syy]].
+	theta := 0.5 * math.Atan2(2*sxy, sxx-syy)
+	ux, uy := math.Cos(theta), math.Sin(theta)
+
+	type proj struct {
+		t float64
+		p [2]int
+	}
+	ps := make([]proj, len(px))
+	for i, p := range px {
+		ps[i] = proj{
+			t: (float64(p[0])-mx)*ux + (float64(p[1])-my)*uy,
+			p: p,
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].t < ps[j].t })
+
+	out := make([]PolarPoint, 0, len(ps))
+	for _, pr := range ps {
+		if sky, ok := SkyOf(pr.p[0], pr.p[1]); ok {
+			out = append(out, sky)
+		}
+	}
+	return out
+}
+
+// Params are the polar-plot parameters recovered from a filled map —
+// the quantities the paper derives by leaving a terminal up for two
+// days (§4, "Uncovering gRPC obstruction map parameters").
+type Params struct {
+	CenterX, CenterY float64
+	RadiusPx         float64
+}
+
+// RecoverParams estimates the plot center and radius from the bounding
+// box of the set pixels. On a map whose sky coverage has filled the
+// plot disk, the bounding box edges touch the disk, so its center and
+// half-extent recover the plot geometry.
+func RecoverParams(m *Map) (Params, error) {
+	minX, minY := Size, Size
+	maxX, maxY := -1, -1
+	for y := 0; y < Size; y++ {
+		for x := 0; x < Size; x++ {
+			if m.pix[y*Size+x] {
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+	}
+	if maxX < 0 {
+		return Params{}, fmt.Errorf("obstruction: empty map")
+	}
+	return Params{
+		CenterX:  float64(minX+maxX) / 2,
+		CenterY:  float64(minY+maxY) / 2,
+		RadiusPx: (float64(maxX-minX) + float64(maxY-minY)) / 4,
+	}, nil
+}
+
+// Image renders the map as a grayscale image (white = painted), the
+// same rendering the dish returns over gRPC.
+func (m *Map) Image() *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, Size, Size))
+	for y := 0; y < Size; y++ {
+		for x := 0; x < Size; x++ {
+			if m.pix[y*Size+x] {
+				img.SetGray(x, y, color.Gray{Y: 255})
+			}
+		}
+	}
+	return img
+}
+
+// EncodePNG writes the map as a PNG.
+func (m *Map) EncodePNG(w io.Writer) error {
+	if err := png.Encode(w, m.Image()); err != nil {
+		return fmt.Errorf("obstruction: encode png: %w", err)
+	}
+	return nil
+}
+
+// DecodePNG reads a map from PNG data produced by EncodePNG (or any
+// image of the right size; pixels with luma >= 128 count as painted).
+func DecodePNG(r io.Reader) (*Map, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("obstruction: decode png: %w", err)
+	}
+	b := img.Bounds()
+	if b.Dx() != Size || b.Dy() != Size {
+		return nil, fmt.Errorf("obstruction: image is %dx%d, want %dx%d", b.Dx(), b.Dy(), Size, Size)
+	}
+	m := New()
+	for y := 0; y < Size; y++ {
+		for x := 0; x < Size; x++ {
+			c := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			if c.Y >= 128 {
+				m.Set(x, y)
+			}
+		}
+	}
+	return m, nil
+}
+
+// MarshalBinary implements a compact 1-bit wire encoding used by the
+// dishrpc protocol.
+func (m *Map) MarshalBinary() ([]byte, error) {
+	out := make([]byte, (Size*Size+7)/8)
+	for i, p := range m.pix {
+		if p {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary format.
+func (m *Map) UnmarshalBinary(data []byte) error {
+	want := (Size*Size + 7) / 8
+	if len(data) != want {
+		return fmt.Errorf("obstruction: binary map is %d bytes, want %d", len(data), want)
+	}
+	for i := range m.pix {
+		m.pix[i] = data[i/8]&(1<<(i%8)) != 0
+	}
+	return nil
+}
+
+// String renders a debug view (rows of '.' and '#'), useful in test
+// failures. Kept small: every second pixel.
+func (m *Map) String() string {
+	var buf bytes.Buffer
+	for y := 0; y < Size; y += 2 {
+		for x := 0; x < Size; x += 2 {
+			if m.At(x, y) || m.At(x+1, y) || m.At(x, y+1) || m.At(x+1, y+1) {
+				buf.WriteByte('#')
+			} else {
+				buf.WriteByte('.')
+			}
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

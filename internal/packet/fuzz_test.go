@@ -1,0 +1,24 @@
+package packet
+
+import "testing"
+
+// FuzzParseUDPFrame checks the layered decoder never panics and never
+// returns a payload that escapes the input buffer.
+func FuzzParseUDPFrame(f *testing.F) {
+	good, _ := BuildUDPFrame(
+		MAC{1, 2, 3, 4, 5, 6}, MAC{6, 5, 4, 3, 2, 1},
+		IP4{10, 0, 0, 1}, IP4{10, 0, 0, 2}, 1234, 5678, 42,
+		[]byte("fuzz seed payload"))
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		_, _, _, payload, err := ParseUDPFrame(frame)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(frame) {
+			t.Fatalf("payload of %d bytes from a %d-byte frame", len(payload), len(frame))
+		}
+	})
+}

@@ -1,0 +1,277 @@
+// Package packet serializes and decodes the Ethernet/IPv4/UDP framing
+// used to export simulated probe traffic as packet captures. It is a
+// deliberately small, allocation-conscious take on the layered
+// decode/serialize model (cf. gopacket): headers are plain structs
+// with SerializeTo/Parse pairs, checksums are computed on
+// serialization and verified on parse.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	UDPHeaderLen      = 8
+)
+
+// EtherTypeIPv4 is the Ethernet payload type for IPv4.
+const EtherTypeIPv4 = 0x0800
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// ErrTruncated reports a buffer shorter than the layer's header.
+var ErrTruncated = errors.New("packet: truncated")
+
+// ErrChecksum reports a failed checksum verification.
+var ErrChecksum = errors.New("packet: bad checksum")
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// IP4 is an IPv4 address.
+type IP4 [4]byte
+
+// String formats the address dotted-quad.
+func (a IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Ethernet is the layer-2 header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// SerializeTo writes the header into b and returns the bytes used.
+func (e *Ethernet) SerializeTo(b []byte) (int, error) {
+	if len(b) < EthernetHeaderLen {
+		return 0, fmt.Errorf("%w: ethernet needs %d bytes, have %d", ErrTruncated, EthernetHeaderLen, len(b))
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return EthernetHeaderLen, nil
+}
+
+// Parse reads the header from b and returns the remaining payload.
+func (e *Ethernet) Parse(b []byte) ([]byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet frame of %d bytes", ErrTruncated, len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[EthernetHeaderLen:], nil
+}
+
+// IPv4 is the layer-3 header (no options supported).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst IP4
+	// Length is the total length including header; set by SerializeTo
+	// from the payload length, verified by Parse.
+	Length uint16
+}
+
+// SerializeTo writes the header for a payload of payloadLen bytes.
+func (ip *IPv4) SerializeTo(b []byte, payloadLen int) (int, error) {
+	if len(b) < IPv4HeaderLen {
+		return 0, fmt.Errorf("%w: ipv4 needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(b))
+	}
+	total := IPv4HeaderLen + payloadLen
+	if total > 0xFFFF {
+		return 0, fmt.Errorf("packet: ipv4 payload of %d bytes overflows total length", payloadLen)
+	}
+	ip.Length = uint16(total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.Length)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], 0x4000) // DF, no fragmentation
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0 // checksum slot
+	copy(b[12:16], ip.Src[:])
+	copy(b[16:20], ip.Dst[:])
+	sum := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], sum)
+	return IPv4HeaderLen, nil
+}
+
+// Parse reads and verifies the header, returning the payload.
+func (ip *IPv4) Parse(b []byte) ([]byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 packet of %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: ip version %d, want 4", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: ipv4 header length %d", ErrTruncated, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("%w: ipv4 header", ErrChecksum)
+	}
+	ip.TOS = b[1]
+	ip.Length = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	if int(ip.Length) < ihl || int(ip.Length) > len(b) {
+		return nil, fmt.Errorf("%w: ipv4 total length %d of %d-byte buffer", ErrTruncated, ip.Length, len(b))
+	}
+	return b[ihl:ip.Length], nil
+}
+
+// UDP is the layer-4 header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	// Length includes the UDP header; set on serialize.
+	Length uint16
+}
+
+// SerializeTo writes the header and computes the checksum over the
+// IPv4 pseudo-header plus payload (payload must already sit at
+// b[UDPHeaderLen:UDPHeaderLen+payloadLen]).
+func (u *UDP) SerializeTo(b []byte, src, dst IP4, payloadLen int) (int, error) {
+	if len(b) < UDPHeaderLen+payloadLen {
+		return 0, fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, UDPHeaderLen+payloadLen, len(b))
+	}
+	total := UDPHeaderLen + payloadLen
+	if total > 0xFFFF {
+		return 0, fmt.Errorf("packet: udp length %d overflows", total)
+	}
+	u.Length = uint16(total)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	b[6], b[7] = 0, 0
+	sum := udpChecksum(b[:total], src, dst)
+	if sum == 0 {
+		sum = 0xFFFF // per RFC 768, transmitted all-ones when computed zero
+	}
+	binary.BigEndian.PutUint16(b[6:8], sum)
+	return total, nil
+}
+
+// Parse reads and verifies the header, returning the payload. src/dst
+// from the IP layer feed the pseudo-header checksum.
+func (u *UDP) Parse(b []byte, src, dst IP4) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("%w: udp datagram of %d bytes", ErrTruncated, len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(b) {
+		return nil, fmt.Errorf("%w: udp length %d of %d-byte buffer", ErrTruncated, u.Length, len(b))
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 { // checksum 0 = disabled
+		if udpChecksum(b[:u.Length], src, dst) != 0 {
+			return nil, fmt.Errorf("%w: udp", ErrChecksum)
+		}
+	}
+	return b[UDPHeaderLen:u.Length], nil
+}
+
+// Checksum is the RFC 1071 Internet checksum.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// udpChecksum computes the checksum including the IPv4 pseudo-header.
+// Returns 0 for a datagram whose stored checksum is valid.
+func udpChecksum(datagram []byte, src, dst IP4) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(datagram)))
+
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(datagram)
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// BuildUDPFrame assembles a full Ethernet/IPv4/UDP frame around a
+// payload in one call. Returned slice is freshly allocated.
+func BuildUDPFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, ipID uint16, payload []byte) ([]byte, error) {
+	frame := make([]byte, EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen+len(payload))
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	if _, err := eth.SerializeTo(frame); err != nil {
+		return nil, err
+	}
+	ipStart := EthernetHeaderLen
+	udpStart := ipStart + IPv4HeaderLen
+	copy(frame[udpStart+UDPHeaderLen:], payload)
+	udp := UDP{SrcPort: srcPort, DstPort: dstPort}
+	if _, err := udp.SerializeTo(frame[udpStart:], srcIP, dstIP, len(payload)); err != nil {
+		return nil, err
+	}
+	ip := IPv4{ID: ipID, TTL: 64, Protocol: ProtoUDP, Src: srcIP, Dst: dstIP}
+	if _, err := ip.SerializeTo(frame[ipStart:], UDPHeaderLen+len(payload)); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// ParseUDPFrame decodes an Ethernet/IPv4/UDP frame, verifying both
+// checksums, and returns the decoded headers plus payload.
+func ParseUDPFrame(frame []byte) (Ethernet, IPv4, UDP, []byte, error) {
+	var eth Ethernet
+	var ip IPv4
+	var udp UDP
+	rest, err := eth.Parse(frame)
+	if err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return eth, ip, udp, nil, fmt.Errorf("packet: ethertype %#x, want ipv4", eth.EtherType)
+	}
+	rest, err = ip.Parse(rest)
+	if err != nil {
+		return eth, ip, udp, nil, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return eth, ip, udp, nil, fmt.Errorf("packet: ip protocol %d, want udp", ip.Protocol)
+	}
+	payload, err := udp.Parse(rest, ip.Src, ip.Dst)
+	if err != nil {
+		return eth, ip, udp, nil, err
+	}
+	return eth, ip, udp, payload, nil
+}

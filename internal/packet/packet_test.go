@@ -1,0 +1,166 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	dstMAC = MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	srcIP  = IP4{192, 168, 1, 10}
+	dstIP  = IP4{10, 0, 0, 1}
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	payload := []byte("starlink probe payload")
+	frame, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 40000, 9300, 7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, ip, udp, got, err := ParseUDPFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth.Src != srcMAC || eth.Dst != dstMAC {
+		t.Error("mac mismatch")
+	}
+	if ip.Src != srcIP || ip.Dst != dstIP || ip.TTL != 64 || ip.ID != 7 {
+		t.Errorf("ip header %+v", ip)
+	}
+	if udp.SrcPort != 40000 || udp.DstPort != 9300 {
+		t.Errorf("udp ports %d %d", udp.SrcPort, udp.DstPort)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestBuildParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(1200))
+		rng.Read(payload)
+		var s, d IP4
+		rng.Read(s[:])
+		rng.Read(d[:])
+		sp := uint16(rng.Intn(65536))
+		dp := uint16(rng.Intn(65536))
+		frame, err := BuildUDPFrame(srcMAC, dstMAC, s, d, sp, dp, uint16(rng.Intn(65536)), payload)
+		if err != nil {
+			return false
+		}
+		_, ip, udp, got, err := ParseUDPFrame(frame)
+		if err != nil {
+			return false
+		}
+		return ip.Src == s && ip.Dst == d && udp.SrcPort == sp && udp.DstPort == dp && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	frame, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the TTL inside the IP header.
+	frame[EthernetHeaderLen+8] ^= 0xFF
+	if _, _, _, _, err := ParseUDPFrame(frame); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted ip header parsed: %v", err)
+	}
+}
+
+func TestUDPChecksumDetectsPayloadCorruption(t *testing.T) {
+	frame, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] ^= 0x01
+	if _, _, _, _, err := ParseUDPFrame(frame); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted payload parsed: %v", err)
+	}
+}
+
+func TestUDPChecksumZeroMeansDisabled(t *testing.T) {
+	frame, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero the UDP checksum: the parser must accept (checksum disabled).
+	udpStart := EthernetHeaderLen + IPv4HeaderLen
+	frame[udpStart+6], frame[udpStart+7] = 0, 0
+	if _, _, _, _, err := ParseUDPFrame(frame); err != nil {
+		t.Errorf("zero-checksum datagram rejected: %v", err)
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	frame, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4HeaderLen - 1} {
+		if _, _, _, _, err := ParseUDPFrame(frame[:n]); err == nil {
+			t.Errorf("truncated frame of %d bytes parsed", n)
+		}
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	frame, _ := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("x"))
+	binary.BigEndian.PutUint16(frame[12:14], 0x86DD) // IPv6 ethertype
+	if _, _, _, _, err := ParseUDPFrame(frame); err == nil {
+		t.Error("ipv6 ethertype parsed as ipv4")
+	}
+	frame2, _ := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, []byte("x"))
+	// Flip protocol to TCP and fix the header checksum so only the
+	// protocol check can reject it.
+	ipStart := EthernetHeaderLen
+	frame2[ipStart+9] = 6
+	frame2[ipStart+10], frame2[ipStart+11] = 0, 0
+	sum := Checksum(frame2[ipStart : ipStart+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(frame2[ipStart+10:ipStart+12], sum)
+	if _, _, _, _, err := ParseUDPFrame(frame2); err == nil {
+		t.Error("tcp protocol parsed as udp")
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Classic example: checksum of this sequence is 0xddf2 complemented.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(b)
+	if got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+	// Verification property: appending the checksum makes the sum zero.
+	full := append(append([]byte(nil), b...), byte(got>>8), byte(got))
+	if Checksum(full) != 0 {
+		t.Error("checksum self-verification failed")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	b := []byte{0xAB}
+	if got := Checksum(b); got != ^uint16(0xAB00) {
+		t.Errorf("odd checksum = %#x", got)
+	}
+}
+
+func TestIP4String(t *testing.T) {
+	if got := (IP4{10, 0, 0, 1}).String(); got != "10.0.0.1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	if _, err := BuildUDPFrame(srcMAC, dstMAC, srcIP, dstIP, 1, 2, 3, make([]byte, 70000)); err == nil {
+		t.Error("70k payload accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (the .pcap file Wireshark and tcpdump consume), so simulated probe
+// traffic can be exported for inspection with standard tooling.
+//
+// Only the original 2.4 format is implemented — microsecond or
+// nanosecond timestamps, both byte orders on read, little-endian
+// microsecond on write. The next-generation pcapng format is out of
+// scope.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers.
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the DLT value for Ethernet frames.
+const LinkTypeEthernet = 1
+
+// DefaultSnapLen is the write-side capture length.
+const DefaultSnapLen = 65535
+
+// ErrFormat reports an unreadable capture file.
+var ErrFormat = errors.New("pcap: bad format")
+
+// Packet is one captured record.
+type Packet struct {
+	Timestamp time.Time
+	// OrigLen is the original wire length; len(Data) may be smaller if
+	// the capture was truncated at the snap length.
+	OrigLen int
+	Data    []byte
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w        io.Writer
+	snapLen  uint32
+	linkType uint32
+	wroteHdr bool
+}
+
+// NewWriter creates a Writer for the given link type (use
+// LinkTypeEthernet). The global header is written lazily on the first
+// packet (or Flush).
+func NewWriter(w io.Writer, linkType uint32) *Writer {
+	return &Writer{w: w, snapLen: DefaultSnapLen, linkType: linkType}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.wroteHdr {
+		return nil
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], w.linkType)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: write header: %w", err)
+	}
+	w.wroteHdr = true
+	return nil
+}
+
+// WritePacket appends one record. Data longer than the snap length is
+// truncated, with OrigLen preserved.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	capLen := len(data)
+	if capLen > int(w.snapLen) {
+		capLen = int(w.snapLen)
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(data)))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(data[:capLen]); err != nil {
+		return fmt.Errorf("pcap: write record data: %w", err)
+	}
+	return nil
+}
+
+// Flush ensures the global header exists even for an empty capture.
+func (w *Writer) Flush() error { return w.writeHeader() }
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	snapLen  uint32
+	linkType uint32
+}
+
+// NewReader parses the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: global header: %v", ErrFormat, err)
+	}
+	rd := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNano:
+		rd.order = binary.LittleEndian
+		rd.nanos = true
+	case magicBE == magicMicro:
+		rd.order = binary.BigEndian
+	case magicBE == magicNano:
+		rd.order = binary.BigEndian
+		rd.nanos = true
+	default:
+		return nil, fmt.Errorf("%w: magic %#x", ErrFormat, magicLE)
+	}
+	if major := rd.order.Uint16(hdr[4:6]); major != 2 {
+		return nil, fmt.Errorf("%w: version %d", ErrFormat, major)
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:20])
+	rd.linkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// LinkType reports the capture's data link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen reports the capture's snap length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// Next returns the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: record header: %v", ErrFormat, err)
+	}
+	sec := r.order.Uint32(rec[0:4])
+	frac := r.order.Uint32(rec[4:8])
+	capLen := r.order.Uint32(rec[8:12])
+	origLen := r.order.Uint32(rec[12:16])
+	if capLen > r.snapLen && r.snapLen > 0 {
+		return Packet{}, fmt.Errorf("%w: captured length %d exceeds snap length %d", ErrFormat, capLen, r.snapLen)
+	}
+	nanos := int64(frac) * 1000
+	if r.nanos {
+		nanos = int64(frac)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("%w: record data: %v", ErrFormat, err)
+	}
+	return Packet{
+		Timestamp: time.Unix(int64(sec), nanos).UTC(),
+		OrigLen:   int(origLen),
+		Data:      data,
+	}, nil
+}
+
+// ReadAll drains the remaining records.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

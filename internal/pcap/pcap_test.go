@@ -1,0 +1,180 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	base := time.Date(2023, 3, 1, 1, 0, 12, 123456000, time.UTC)
+	frames := [][]byte{
+		[]byte("first frame bytes"),
+		[]byte("second"),
+		make([]byte, 1500),
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(base.Add(time.Duration(i)*20*time.Millisecond), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type %d", r.LinkType())
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	for i, p := range pkts {
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		want := base.Add(time.Duration(i) * 20 * time.Millisecond)
+		if p.Timestamp.Sub(want).Abs() > time.Microsecond {
+			t.Errorf("packet %d timestamp %v, want %v", i, p.Timestamp, want)
+		}
+		if p.OrigLen != len(frames[i]) {
+			t.Errorf("packet %d orig len %d", i, p.OrigLen)
+		}
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next on empty capture = %v, want EOF", err)
+	}
+}
+
+func TestReaderBigEndian(t *testing.T) {
+	// Hand-build a big-endian capture with one 4-byte packet.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1677628812)
+	binary.BigEndian.PutUint32(rec[4:8], 500000) // 0.5 s in micros
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timestamp.Unix() != 1677628812 || p.Timestamp.Nanosecond() != 500000000 {
+		t.Errorf("timestamp %v", p.Timestamp)
+	}
+	if !bytes.Equal(p.Data, []byte{1, 2, 3, 4}) {
+		t.Error("data mismatch")
+	}
+}
+
+func TestReaderNanoMagic(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNano)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], 100)
+	binary.LittleEndian.PutUint32(rec[4:8], 123456789) // nanos
+	binary.LittleEndian.PutUint32(rec[8:12], 1)
+	binary.LittleEndian.PutUint32(rec[12:16], 1)
+	buf.Write(rec[:])
+	buf.WriteByte(0xAA)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timestamp.Nanosecond() != 123456789 {
+		t.Errorf("nano timestamp %v", p.Timestamp)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("definitely not a pcap file....")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(strings.NewReader("x")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.WritePacket(time.Now(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record returned %v", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	w.snapLen = 8
+	big := make([]byte, 100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := w.WritePacket(time.Now(), big); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 8 || p.OrigLen != 100 {
+		t.Errorf("caplen %d origlen %d", len(p.Data), p.OrigLen)
+	}
+}

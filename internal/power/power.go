@@ -1,0 +1,171 @@
+// Package power models satellite energy: solar charging while sunlit,
+// battery drain while eclipsed, and extra drain proportional to
+// traffic load. The paper's introduction lists "satellite charge"
+// among the global scheduler's inputs, and its §5.3 rationale — dark
+// satellites have limited battery, so the scheduler assigns them only
+// high-elevation (low-RF-power) terminals — is exactly the coupling
+// this package provides to internal/scheduler.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// BatteryConfig sets the energy model's constants. The defaults are
+// loosely calibrated to a Starlink v1.5-class bus: the battery rides
+// through a ~35-minute eclipse with comfortable margin at idle but
+// sags visibly under sustained load.
+type BatteryConfig struct {
+	CapacityWh    float64 // usable battery capacity
+	SolarW        float64 // panel output while sunlit
+	IdleW         float64 // bus load, always present
+	ServeWPerUtil float64 // extra draw at utilization 1.0
+	// InitialSoC is the starting state of charge in [MinSoC, 1].
+	InitialSoC float64
+	// MinSoC is the protection floor; the model clamps here and flags
+	// the satellite as power-constrained.
+	MinSoC float64
+}
+
+// DefaultBatteryConfig returns the calibrated defaults.
+func DefaultBatteryConfig() BatteryConfig {
+	return BatteryConfig{
+		CapacityWh:    5000,
+		SolarW:        4000,
+		IdleW:         1200,
+		ServeWPerUtil: 2500,
+		InitialSoC:    0.85,
+		MinSoC:        0.15,
+	}
+}
+
+func (c *BatteryConfig) validate() error {
+	if c.CapacityWh <= 0 {
+		return fmt.Errorf("power: capacity %v Wh", c.CapacityWh)
+	}
+	if c.SolarW <= c.IdleW {
+		return fmt.Errorf("power: solar %v W cannot sustain idle %v W", c.SolarW, c.IdleW)
+	}
+	if c.InitialSoC < c.MinSoC || c.InitialSoC > 1 {
+		return fmt.Errorf("power: initial SoC %v outside [%v, 1]", c.InitialSoC, c.MinSoC)
+	}
+	return nil
+}
+
+// Battery is one satellite's energy state.
+type Battery struct {
+	cfg BatteryConfig
+	soc float64
+}
+
+// NewBattery builds a battery at the configured initial state.
+func NewBattery(cfg BatteryConfig) (*Battery, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Battery{cfg: cfg, soc: cfg.InitialSoC}, nil
+}
+
+// SoC returns the state of charge in [MinSoC, 1].
+func (b *Battery) SoC() float64 { return b.soc }
+
+// Constrained reports whether the battery sits at its protection
+// floor.
+func (b *Battery) Constrained() bool { return b.soc <= b.cfg.MinSoC+1e-9 }
+
+// Step advances the battery by dt. sunlit selects solar input; util in
+// [0,1] scales the service drain.
+func (b *Battery) Step(dt time.Duration, sunlit bool, util float64) {
+	util = units.Clamp(util, 0, 1)
+	watts := -b.cfg.IdleW - util*b.cfg.ServeWPerUtil
+	if sunlit {
+		watts += b.cfg.SolarW
+	}
+	deltaWh := watts * dt.Hours()
+	b.soc = units.Clamp(b.soc+deltaWh/b.cfg.CapacityWh, b.cfg.MinSoC, 1)
+}
+
+// Fleet tracks one battery per satellite ID.
+type Fleet struct {
+	cfg  BatteryConfig
+	bats map[int]*Battery
+	ids  []int // sorted, for deterministic iteration
+}
+
+// NewFleet builds batteries for every ID.
+func NewFleet(ids []int, cfg BatteryConfig) (*Fleet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, bats: make(map[int]*Battery, len(ids))}
+	for _, id := range ids {
+		if _, dup := f.bats[id]; dup {
+			return nil, fmt.Errorf("power: duplicate satellite id %d", id)
+		}
+		b, err := NewBattery(cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.bats[id] = b
+		f.ids = append(f.ids, id)
+	}
+	sort.Ints(f.ids)
+	return f, nil
+}
+
+// SoC returns a satellite's state of charge (1.0 for unknown IDs, so
+// absent telemetry never penalizes a candidate).
+func (f *Fleet) SoC(id int) float64 {
+	if b, ok := f.bats[id]; ok {
+		return b.SoC()
+	}
+	return 1
+}
+
+// Constrained reports the protection-floor flag for a satellite.
+func (f *Fleet) Constrained(id int) bool {
+	if b, ok := f.bats[id]; ok {
+		return b.Constrained()
+	}
+	return false
+}
+
+// Step advances every battery by dt. sunlit and util report each
+// satellite's state; missing entries default to sunlit idle.
+func (f *Fleet) Step(dt time.Duration, sunlit map[int]bool, util map[int]float64) {
+	for _, id := range f.ids {
+		s, ok := sunlit[id]
+		if !ok {
+			s = true
+		}
+		f.bats[id].Step(dt, s, util[id])
+	}
+}
+
+// MeanSoC returns the fleet-average state of charge.
+func (f *Fleet) MeanSoC() float64 {
+	if len(f.ids) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, id := range f.ids {
+		sum += f.bats[id].SoC()
+	}
+	return sum / float64(len(f.ids))
+}
+
+// ConstrainedCount returns how many batteries sit at the floor.
+func (f *Fleet) ConstrainedCount() int {
+	n := 0
+	for _, id := range f.ids {
+		if f.bats[id].Constrained() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,390 @@
+package sgp4
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tle"
+	"repro/internal/units"
+)
+
+// mustTLE builds a TLE from elements without going through the text
+// format.
+func mustTLE(incl, raan, ecc, argp, ma, mm, bstar float64) *tle.TLE {
+	return &tle.TLE{
+		CatalogNum:     44714,
+		IntlDesig:      "19074A",
+		Epoch:          time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC),
+		BStar:          bstar,
+		InclinationDeg: incl,
+		RAANDeg:        raan,
+		Eccentricity:   ecc,
+		ArgPerigeeDeg:  argp,
+		MeanAnomalyDeg: ma,
+		MeanMotion:     mm,
+	}
+}
+
+// starlinkTLE is a typical Starlink shell-1 element set: 53 deg, 550 km
+// (mean motion ~15.06 rev/day).
+func starlinkTLE() *tle.TLE {
+	return mustTLE(53.05, 120.0, 0.0001, 90.0, 0.0, 15.06, 0.0001)
+}
+
+func TestNewRejectsDeepSpace(t *testing.T) {
+	geo := mustTLE(0.05, 0, 0.0002, 0, 0, 1.0027, 0) // geostationary
+	if _, err := New(geo); !errors.Is(err, ErrDeepSpace) {
+		t.Fatalf("err = %v, want ErrDeepSpace", err)
+	}
+}
+
+func TestNewRejectsBadEcc(t *testing.T) {
+	bad := starlinkTLE()
+	bad.Eccentricity = 1.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("expected error for hyperbolic eccentricity")
+	}
+}
+
+func TestPropagateAltitudeAndSpeed(t *testing.T) {
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, min := range []float64{0, 10, 47.8, 95.6, 500, 1440} {
+		st, err := p.Propagate(min)
+		if err != nil {
+			t.Fatalf("t=%v: %v", min, err)
+		}
+		alt := st.Pos.Norm() - units.EarthRadiusKm
+		if alt < 520 || alt > 580 {
+			t.Errorf("t=%v min: altitude %v km, want ~550", min, alt)
+		}
+		speed := st.Vel.Norm()
+		if speed < 7.4 || speed > 7.8 {
+			t.Errorf("t=%v min: speed %v km/s, want ~7.6", min, speed)
+		}
+	}
+}
+
+func TestPropagatePeriod(t *testing.T) {
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One nodal period later the satellite should be near (not exactly
+	// at, due to J2 precession) its starting point.
+	period := units.MinutesPerDay / 15.06
+	s0, err := p.Propagate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Propagate(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := s0.Pos.Sub(s1.Pos).Norm()
+	if sep > 250 {
+		t.Errorf("separation after one period = %v km, want < 250 (J2 drift only)", sep)
+	}
+	// Half a period later it should be roughly on the opposite side.
+	sh, err := p.Propagate(period / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ang := s0.Pos.AngleBetween(sh.Pos); ang < 2.8 {
+		t.Errorf("angle after half period = %v rad, want ~pi", ang)
+	}
+}
+
+func TestPropagateInclinationBound(t *testing.T) {
+	// Maximum |latitude| of the ground track equals the inclination for
+	// a prograde orbit. Equivalently max |z|/|r| = sin(incl).
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxZr := 0.0
+	for min := 0.0; min < 200; min += 0.5 {
+		st, err := p.Propagate(min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zr := math.Abs(st.Pos.Z) / st.Pos.Norm()
+		if zr > maxZr {
+			maxZr = zr
+		}
+	}
+	want := math.Sin(units.Deg2Rad(53.05))
+	if math.Abs(maxZr-want) > 0.01 {
+		t.Errorf("max |z|/|r| = %v, want %v", maxZr, want)
+	}
+}
+
+func TestPropagateVelocityConsistency(t *testing.T) {
+	// Finite-difference the position; it must match the reported
+	// velocity closely.
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 0.001 // minutes
+	for _, min := range []float64{5, 50, 500} {
+		a, err1 := p.Propagate(min - h)
+		b, err2 := p.Propagate(min + h)
+		c, err3 := p.Propagate(min)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatal(err1, err2, err3)
+		}
+		fd := b.Pos.Sub(a.Pos).Scale(1 / (2 * h * 60)) // km/s
+		if diff := fd.Sub(c.Vel).Norm(); diff > 0.002 {
+			t.Errorf("t=%v: |fd - vel| = %v km/s", min, diff)
+		}
+	}
+}
+
+func TestPropagateRAANRegression(t *testing.T) {
+	// For a prograde orbit the node regresses (moves westward):
+	// check the longitude of the ascending-node crossing drifts in the
+	// expected direction over a day (~ -5 deg/day for 53 deg / 550 km).
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node0 := ascendingNodeRA(t, p, 0)
+	node1 := ascendingNodeRA(t, p, 1440)
+	drift := units.WrapDeg180(node1 - node0)
+	if drift > -3 || drift < -8 {
+		t.Errorf("nodal drift = %v deg/day, want about -5", drift)
+	}
+}
+
+// ascendingNodeRA finds the right ascension of an ascending equator
+// crossing shortly after tsince.
+func ascendingNodeRA(t *testing.T, p *Propagator, tsince float64) float64 {
+	t.Helper()
+	prev, err := p.Propagate(tsince)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for min := tsince + 0.5; min < tsince+200; min += 0.5 {
+		cur, err := p.Propagate(min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.Pos.Z < 0 && cur.Pos.Z >= 0 {
+			return units.WrapDeg360(units.Rad2Deg(math.Atan2(cur.Pos.Y, cur.Pos.X)))
+		}
+		prev = cur
+	}
+	t.Fatal("no ascending node found")
+	return 0
+}
+
+func TestDragLowersOrbit(t *testing.T) {
+	// With a strongly positive B*, the mean semi-major axis decays:
+	// after several days the orbit-averaged radius is smaller.
+	hi := starlinkTLE()
+	hi.BStar = 0.01
+	p, err := New(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(startMin float64) float64 {
+		sum := 0.0
+		n := 0
+		for m := startMin; m < startMin+96; m += 1 {
+			st, err := p.Propagate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += st.Pos.Norm()
+			n++
+		}
+		return sum / float64(n)
+	}
+	r0 := avg(0)
+	r10 := avg(10 * 1440)
+	if r10 >= r0 {
+		t.Errorf("mean radius grew under drag: %v -> %v", r0, r10)
+	}
+}
+
+func TestPropagateBackwards(t *testing.T) {
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Propagate(-30)
+	if err != nil {
+		t.Fatalf("backward propagation: %v", err)
+	}
+	alt := st.Pos.Norm() - units.EarthRadiusKm
+	if alt < 500 || alt > 600 {
+		t.Errorf("backward altitude = %v", alt)
+	}
+}
+
+func TestPropagateAtUsesEpoch(t *testing.T) {
+	tl := starlinkTLE()
+	p, err := New(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.PropagateAt(tl.Epoch.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Propagate(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Pos.Sub(s2.Pos).Norm() > 1e-9 {
+		t.Error("PropagateAt disagrees with Propagate")
+	}
+}
+
+func TestEccentricOrbitRadiusRange(t *testing.T) {
+	// e=0.1: radius should swing between a(1-e) and a(1+e).
+	ecc := mustTLE(63.4, 40, 0.1, 270, 0, 13.0, 0)
+	p, err := New(ecc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for m := 0.0; m < 120; m += 0.25 {
+		st, err := p.Propagate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := st.Pos.Norm()
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	a := math.Pow(units.MuEarth*math.Pow(86400/(13.0*2*math.Pi), 2), 1.0/3.0)
+	if math.Abs(minR-a*0.9)/a > 0.02 {
+		t.Errorf("perigee radius %v, want ~%v", minR, a*0.9)
+	}
+	if math.Abs(maxR-a*1.1)/a > 0.02 {
+		t.Errorf("apogee radius %v, want ~%v", maxR, a*1.1)
+	}
+}
+
+func TestISSRealTLE(t *testing.T) {
+	const l1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	const l2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+	parsed, err := tle.Parse(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Propagate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := st.Pos.Norm() - units.EarthRadiusKm
+	// ISS altitude in 2008: ~340-360 km.
+	if alt < 320 || alt > 380 {
+		t.Errorf("ISS altitude = %v km", alt)
+	}
+	if sp := st.Vel.Norm(); sp < 7.6 || sp > 7.8 {
+		t.Errorf("ISS speed = %v km/s", sp)
+	}
+}
+
+func TestKeplerJ2MatchesSGP4Roughly(t *testing.T) {
+	// The ablation baseline should track SGP4 to within tens of km over
+	// a couple of hours for a near-circular orbit with small drag.
+	tl := starlinkTLE()
+	tl.BStar = 0
+	p, err := New(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKeplerJ2(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []float64{0, 30, 120} {
+		a, err1 := p.Propagate(m)
+		b, err2 := k.Propagate(m)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		sep := a.Pos.Sub(b.Pos).Norm()
+		// The two models differ by short-period J2 terms (~10 km) plus
+		// secular differences that grow slowly.
+		if sep > 100 {
+			t.Errorf("t=%v: SGP4 vs KeplerJ2 separation = %v km", m, sep)
+		}
+	}
+}
+
+func TestKeplerJ2AltitudeStable(t *testing.T) {
+	k, err := NewKeplerJ2(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0.0; m < 1440; m += 30 {
+		st, err := k.Propagate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt := st.Pos.Norm() - units.EarthRadiusKm
+		if alt < 520 || alt > 580 {
+			t.Errorf("t=%v: KeplerJ2 altitude %v", m, alt)
+		}
+	}
+}
+
+func TestAngularMomentumDirectionStable(t *testing.T) {
+	// Orbit normal should stay near the initial normal over one orbit
+	// (precession is slow).
+	p, err := New(starlinkTLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := p.Propagate(0)
+	h0 := s0.Pos.Cross(s0.Vel).Unit()
+	for m := 1.0; m < 96; m += 5 {
+		st, err := p.Propagate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := st.Pos.Cross(st.Vel).Unit()
+		if ang := units.Rad2Deg(h0.AngleBetween(h)); ang > 0.3 {
+			t.Errorf("t=%v: orbit normal moved %v deg", m, ang)
+		}
+	}
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	p, err := New(starlinkTLE())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Propagate(float64(i % 1440)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeplerJ2(b *testing.B) {
+	k, err := NewKeplerJ2(starlinkTLE())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Propagate(float64(i % 1440)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

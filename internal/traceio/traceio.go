@@ -1,0 +1,191 @@
+// Package traceio persists and reloads the reproduction's data
+// artifacts — allocation logs, RTT traces, and slot observations — so
+// campaigns can be captured once and re-analyzed offline, mirroring
+// the paper's released model-and-data bundle.
+//
+// Formats: allocation logs and RTT traces are TSV with a header row
+// (they are flat and meant for shell tooling); observations are JSON
+// Lines (each slot carries a nested available-satellite list).
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+)
+
+// timeLayout is RFC3339 with nanoseconds, lossless for our clocks.
+const timeLayout = time.RFC3339Nano
+
+// WriteAllocations streams an allocation log as TSV.
+func WriteAllocations(w io.Writer, allocs []scheduler.Allocation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "slot_start\tterminal\tsat_id\televation_deg\tazimuth_deg\trange_km\tsunlit\tlaunch\tcandidates"); err != nil {
+		return fmt.Errorf("traceio: write header: %w", err)
+	}
+	for _, a := range allocs {
+		sunlit := 0
+		if a.Sunlit {
+			sunlit = 1
+		}
+		launch := ""
+		if !a.LaunchDate.IsZero() {
+			launch = a.LaunchDate.UTC().Format(timeLayout)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%g\t%g\t%g\t%d\t%s\t%d\n",
+			a.SlotStart.UTC().Format(timeLayout), a.Terminal, a.SatID,
+			a.ElevationDeg, a.AzimuthDeg, a.RangeKm, sunlit, launch, a.Candidates); err != nil {
+			return fmt.Errorf("traceio: write allocation: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAllocations parses a TSV allocation log written by
+// WriteAllocations.
+func ReadAllocations(r io.Reader) ([]scheduler.Allocation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []scheduler.Allocation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 || strings.TrimSpace(text) == "" {
+			continue // header
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 9 {
+			return nil, fmt.Errorf("traceio: allocations line %d: %d fields, want 9", line, len(f))
+		}
+		var a scheduler.Allocation
+		var err error
+		if a.SlotStart, err = time.Parse(timeLayout, f[0]); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: slot_start: %w", line, err)
+		}
+		a.Terminal = f[1]
+		if a.SatID, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: sat_id: %w", line, err)
+		}
+		if a.ElevationDeg, err = strconv.ParseFloat(f[3], 64); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: elevation: %w", line, err)
+		}
+		if a.AzimuthDeg, err = strconv.ParseFloat(f[4], 64); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: azimuth: %w", line, err)
+		}
+		if a.RangeKm, err = strconv.ParseFloat(f[5], 64); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: range: %w", line, err)
+		}
+		a.Sunlit = f[6] == "1"
+		if f[7] != "" {
+			if a.LaunchDate, err = time.Parse(timeLayout, f[7]); err != nil {
+				return nil, fmt.Errorf("traceio: allocations line %d: launch: %w", line, err)
+			}
+		}
+		if a.Candidates, err = strconv.Atoi(f[8]); err != nil {
+			return nil, fmt.Errorf("traceio: allocations line %d: candidates: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceio: read allocations: %w", err)
+	}
+	return out, nil
+}
+
+// WriteSamples streams an RTT trace as TSV.
+func WriteSamples(w io.Writer, samples []netsim.Sample) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time\trtt_ms\tlost\tsat_id"); err != nil {
+		return fmt.Errorf("traceio: write header: %w", err)
+	}
+	for _, s := range samples {
+		lost := 0
+		if s.Lost {
+			lost = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%g\t%d\t%d\n",
+			s.T.UTC().Format(timeLayout), s.RTTms, lost, s.SatID); err != nil {
+			return fmt.Errorf("traceio: write sample: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSamples parses a TSV RTT trace written by WriteSamples.
+func ReadSamples(r io.Reader) ([]netsim.Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []netsim.Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 || strings.TrimSpace(text) == "" {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 4 {
+			return nil, fmt.Errorf("traceio: samples line %d: %d fields, want 4", line, len(f))
+		}
+		var s netsim.Sample
+		var err error
+		if s.T, err = time.Parse(timeLayout, f[0]); err != nil {
+			return nil, fmt.Errorf("traceio: samples line %d: time: %w", line, err)
+		}
+		if s.RTTms, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("traceio: samples line %d: rtt: %w", line, err)
+		}
+		s.Lost = f[2] == "1"
+		if s.SatID, err = strconv.Atoi(f[3]); err != nil {
+			return nil, fmt.Errorf("traceio: samples line %d: sat_id: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceio: read samples: %w", err)
+	}
+	return out, nil
+}
+
+// WriteObservations streams slot observations as JSON Lines.
+func WriteObservations(w io.Writer, obs []core.Observation) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range obs {
+		if err := enc.Encode(&obs[i]); err != nil {
+			return fmt.Errorf("traceio: write observation %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObservations parses JSON Lines written by WriteObservations and
+// validates each record's chosen index.
+func ReadObservations(r io.Reader) ([]core.Observation, error) {
+	dec := json.NewDecoder(r)
+	var out []core.Observation
+	for {
+		var o core.Observation
+		if err := dec.Decode(&o); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("traceio: read observation %d: %w", len(out)+1, err)
+		}
+		if o.ChosenIdx >= len(o.Available) {
+			return nil, fmt.Errorf("traceio: observation %d: chosen index %d out of range (%d available)",
+				len(out)+1, o.ChosenIdx, len(o.Available))
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

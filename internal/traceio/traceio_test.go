@@ -1,0 +1,190 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+)
+
+func sampleAllocations() []scheduler.Allocation {
+	t0 := time.Date(2023, 3, 1, 1, 0, 12, 0, time.UTC)
+	return []scheduler.Allocation{
+		{
+			Terminal: "Iowa", SlotStart: t0, SatID: 44714,
+			ElevationDeg: 63.25, AzimuthDeg: 342.1, RangeKm: 612.4,
+			Sunlit: true, LaunchDate: time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC),
+			Candidates: 17,
+		},
+		{Terminal: "Madrid", SlotStart: t0, SatID: 0, Candidates: 0}, // outage row
+	}
+}
+
+func TestAllocationsRoundTrip(t *testing.T) {
+	in := sampleAllocations()
+	var buf bytes.Buffer
+	if err := WriteAllocations(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAllocations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d rows, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !out[i].SlotStart.Equal(in[i].SlotStart) ||
+			out[i].Terminal != in[i].Terminal ||
+			out[i].SatID != in[i].SatID ||
+			out[i].ElevationDeg != in[i].ElevationDeg ||
+			out[i].Sunlit != in[i].Sunlit ||
+			!out[i].LaunchDate.Equal(in[i].LaunchDate) ||
+			out[i].Candidates != in[i].Candidates {
+			t.Errorf("row %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadAllocationsErrors(t *testing.T) {
+	cases := []string{
+		"header\nnot\tenough\tfields\n",
+		"header\nbad-time\tIowa\t1\t2\t3\t4\t1\t\t5\n",
+		"header\n2023-03-01T00:00:00Z\tIowa\tNaNid\t2\t3\t4\t1\t\t5\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadAllocations(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSamplesRoundTrip(t *testing.T) {
+	t0 := time.Date(2023, 3, 1, 1, 0, 12, 345678000, time.UTC)
+	in := []netsim.Sample{
+		{T: t0, RTTms: 31.75, SatID: 44714},
+		{T: t0.Add(20 * time.Millisecond), Lost: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d rows", len(out))
+	}
+	if !out[0].T.Equal(in[0].T) || out[0].RTTms != 31.75 || out[0].SatID != 44714 {
+		t.Errorf("row 0: %+v", out[0])
+	}
+	if !out[1].Lost {
+		t.Error("lost flag dropped")
+	}
+}
+
+func TestReadSamplesErrors(t *testing.T) {
+	if _, err := ReadSamples(strings.NewReader("h\nx\ty\n")); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestObservationsRoundTrip(t *testing.T) {
+	in := []core.Observation{
+		{
+			Terminal:  "Iowa",
+			SlotStart: time.Date(2023, 3, 1, 1, 0, 12, 0, time.UTC),
+			LocalHour: 19,
+			Available: []core.SatObs{
+				{ID: 1, ElevationDeg: 40, AzimuthDeg: 10, AgeYears: 1.5, Sunlit: true,
+					LaunchDate: time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)},
+				{ID: 2, ElevationDeg: 70, AzimuthDeg: 350, AgeYears: 0.5, Sunlit: false},
+			},
+			ChosenIdx: 1,
+		},
+		{
+			Terminal:  "Madrid",
+			SlotStart: time.Date(2023, 3, 1, 1, 0, 27, 0, time.UTC),
+			Available: []core.SatObs{{ID: 3, ElevationDeg: 30}},
+			ChosenIdx: -1, // identification failed
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadObservations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d observations", len(out))
+	}
+	c, ok := out[0].Chosen()
+	if !ok || c.ID != 2 || c.Sunlit {
+		t.Errorf("chosen = %+v ok=%v", c, ok)
+	}
+	if _, ok := out[1].Chosen(); ok {
+		t.Error("failed identification restored as chosen")
+	}
+	if out[0].Available[0].LaunchDate.IsZero() {
+		t.Error("launch date dropped")
+	}
+}
+
+func TestReadObservationsValidation(t *testing.T) {
+	bad := `{"Terminal":"x","Available":[{"ID":1}],"ChosenIdx":5}`
+	if _, err := ReadObservations(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range chosen index accepted")
+	}
+	if _, err := ReadObservations(strings.NewReader("{broken")); err == nil {
+		t.Error("broken json accepted")
+	}
+	out, err := ReadObservations(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %d", err, len(out))
+	}
+}
+
+// TestEndToEndReanalysis proves a persisted campaign reloads into the
+// same analysis results — the workflow of the paper's data release.
+func TestEndToEndReanalysis(t *testing.T) {
+	in := []core.Observation{}
+	base := time.Date(2023, 3, 1, 1, 0, 12, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		in = append(in, core.Observation{
+			Terminal:  "Iowa",
+			SlotStart: base.Add(time.Duration(i) * 15 * time.Second),
+			LocalHour: 19,
+			Available: []core.SatObs{
+				{ID: 1, ElevationDeg: 30 + float64(i%20), AzimuthDeg: 100, AgeYears: 2, Sunlit: true},
+				{ID: 2, ElevationDeg: 60 + float64(i%20), AzimuthDeg: 350, AgeYears: 1, Sunlit: true},
+			},
+			ChosenIdx: 1,
+		})
+	}
+	a1, err := core.AnalyzeAOE(in, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadObservations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.AnalyzeAOE(out, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.MedianLiftDeg != a2.MedianLiftDeg {
+		t.Errorf("analysis changed after round trip: %v != %v", a1.MedianLiftDeg, a2.MedianLiftDeg)
+	}
+}

@@ -1,0 +1,173 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, deg := range []float64{0, 45, 90, 180, 270, 359.999, -45} {
+		if got := Rad2Deg(Deg2Rad(deg)); !almostEqual(got, deg, 1e-12) {
+			t.Errorf("round trip %v -> %v", deg, got)
+		}
+	}
+}
+
+func TestWrapDeg360(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {361, 1}, {-1, 359}, {720.5, 0.5}, {-359, 1},
+	}
+	for _, c := range cases {
+		if got := WrapDeg360(c.in); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("WrapDeg360(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapDeg180(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {180, -180}, {-180, -180}, {190, -170}, {-190, 170}, {90, 90},
+	}
+	for _, c := range cases {
+		if got := WrapDeg180(c.in); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("WrapDeg180(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapDeg360PropertyRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true // skip pathological inputs
+		}
+		d := WrapDeg360(x)
+		return d >= 0 && d < 360
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapRadPropertyRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		r := WrapRadTwoPi(x)
+		p := WrapRadPi(x)
+		return r >= 0 && r < 2*math.Pi && p >= -math.Pi && p < math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularDistDeg(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {0, 90, 90}, {350, 10, 20}, {10, 350, 20}, {0, 180, 180}, {90, 270, 180},
+	}
+	for _, c := range cases {
+		if got := AngularDistDeg(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AngularDistDeg(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngularDistSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e9 || math.Abs(b) > 1e9 {
+			return true
+		}
+		return almostEqual(AngularDistDeg(a, b), AngularDistDeg(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	z := x.Cross(y)
+	if z != (Vec3{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", z)
+	}
+	// Anti-commutative.
+	if y.Cross(x) != (Vec3{0, 0, -1}) {
+		t.Error("cross not anti-commutative")
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		for _, v := range []float64{a, b, c, d, e, g} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		v := Vec3{a, b, c}
+		w := Vec3{d, e, g}
+		x := v.Cross(w)
+		// Cross product is orthogonal to both inputs.
+		scale := v.Norm() * w.Norm() * x.Norm()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(x.Dot(v))/scale < 1e-9 && math.Abs(x.Dot(w))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3Unit(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	u := v.Unit()
+	if !almostEqual(u.Norm(), 1, 1e-12) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	zero := Vec3{}
+	if zero.Unit() != zero {
+		t.Error("unit of zero should be zero")
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	if got := x.AngleBetween(y); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("angle = %v", got)
+	}
+	if got := x.AngleBetween(x.Scale(5)); !almostEqual(got, 0, 1e-6) {
+		t.Errorf("angle with self = %v", got)
+	}
+	if got := x.AngleBetween(x.Scale(-2)); !almostEqual(got, math.Pi, 1e-6) {
+		t.Errorf("angle with negated self = %v", got)
+	}
+}
