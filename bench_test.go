@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -117,6 +118,38 @@ func BenchmarkIdentification(b *testing.B) {
 	}
 	b.ReportMetric(acc*100, "acc%")
 }
+
+// benchCampaign times the full non-oracle campaign loop (paint → XOR
+// → DTW per terminal per slot) at a given worker-pool size.
+func benchCampaign(b *testing.B, workers int) {
+	env, _, _ := benchSetup(b)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCampaign(context.Background(), core.CampaignConfig{
+			Scheduler:  env.Sched,
+			Identifier: env.Ident,
+			Start:      env.Start(),
+			Slots:      12,
+			Workers:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy()
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
+
+// BenchmarkCampaignSerial is the single-worker baseline for the
+// campaign engine.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same campaign on the worker pool
+// (4 workers = one per study terminal). Output is byte-identical to
+// the serial engine; compare ns/op against BenchmarkCampaignSerial
+// for the speedup.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 4) }
 
 // BenchmarkFig4AOECDF regenerates Figure 4 and reports the median AOE
 // lift of chosen over available satellites (paper: 22.9 deg).

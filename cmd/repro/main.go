@@ -10,18 +10,22 @@
 //
 // Flags:
 //
-//	-scale  small|medium|full  constellation density (default medium)
-//	-seed   int                deterministic seed (default 7)
-//	-slots  int                campaign length in 15s slots (default 500)
-//	-dir    string             where fig3 writes PNGs (default ".")
-//	-full-grid                 fig8: run the full hyperparameter grid
+//	-scale   small|medium|full  constellation density (default medium)
+//	-seed    int                deterministic seed (default 7)
+//	-slots   int                campaign length in 15s slots (default 500)
+//	-workers int                campaign worker pool (default 0 = GOMAXPROCS)
+//	-dir     string             where fig3 writes PNGs (default ".")
+//	-full-grid                  fig8: run the full hyperparameter grid
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/capture"
@@ -38,6 +42,7 @@ func main() {
 		scale    = flag.String("scale", "medium", "constellation scale: small|medium|full")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		slots    = flag.Int("slots", 500, "campaign length in 15-second slots")
+		workers  = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		dir      = flag.String("dir", ".", "output directory for fig3 PNGs")
 		fullGrid = flag.Bool("full-grid", false, "fig8: search the full hyperparameter grid")
 		saveObs  = flag.String("save-obs", "", "write campaign observations as JSONL to this file")
@@ -50,17 +55,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|ext|all")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *scale, *seed, *slots, *dir, *fullGrid, *saveObs, *loadObs, *saveMdl, *pcapPath); err != nil {
+	// Ctrl-C aborts the campaign loop cleanly: the context threads down
+	// into core.RunCampaign, which discards the partial run and returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, flag.Arg(0), *scale, *seed, *slots, *workers, *dir, *fullGrid, *saveObs, *loadObs, *saveMdl, *pcapPath); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(what, scale string, seed int64, slots int, dir string, fullGrid bool, saveObs, loadObs, saveMdl, pcapPath string) error {
-	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed})
+func run(ctx context.Context, what, scale string, seed int64, slots, workers int, dir string, fullGrid bool, saveObs, loadObs, saveMdl, pcapPath string) error {
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
+	env.Ctx = ctx
 	fmt.Printf("# constellation: %d satellites (scale=%s seed=%d)\n\n", env.Cons.Len(), scale, seed)
 
 	var obs []core.Observation

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -106,7 +107,7 @@ func main() {
 
 	// The packaged campaign runs the same loop at scale, with 10-minute
 	// resets, and reports the §4 validation numbers.
-	res, err := core.RunCampaign(core.CampaignConfig{
+	res, err := core.RunCampaign(context.Background(), core.CampaignConfig{
 		Scheduler:  env.Sched,
 		Identifier: env.Ident,
 		Start:      start.Add(time.Hour),

@@ -13,6 +13,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/clocksync"
@@ -21,7 +24,10 @@ import (
 )
 
 func main() {
-	ctx, cancel := context.WithCancel(context.Background())
+	// Ctrl-C cancels every protocol loop; the servers' Serve watchers
+	// see the same context and shut down (irtt additionally stops any
+	// held delayed replies).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	// 1. Clock sync against a server whose clock runs 2 s ahead —

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/constellation"
 	"repro/internal/obstruction"
 	"repro/internal/scheduler"
 )
@@ -26,6 +31,13 @@ type CampaignConfig struct {
 	// the chosen-vs-available data matters (the §5/§6 analyses) and the
 	// identification step has been validated separately.
 	Oracle bool
+	// Workers bounds the worker pool for per-terminal slot processing
+	// (track painting, XOR diffing, DTW identification). 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the serial engine. Results are
+	// byte-identical at every worker count: each terminal's dish state
+	// is owned by exactly one worker and records merge back in
+	// deterministic (slot, terminal) order.
+	Workers int
 }
 
 // SlotRecord is one slot × terminal campaign outcome.
@@ -69,8 +81,10 @@ func (r *CampaignResult) Observations() []Observation {
 	return out
 }
 
-// RunCampaign executes the campaign.
-func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+// RunCampaign executes the campaign. Long campaigns are cancellable
+// through ctx; on cancellation the partial result is discarded and
+// ctx's error returned.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("core: nil scheduler")
 	}
@@ -89,7 +103,82 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			return nil, err
 		}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(terms) {
+		workers = len(terms)
+	}
+	if workers <= 1 {
+		return runCampaignSerial(ctx, cfg, terms)
+	}
+	return runCampaignParallel(ctx, cfg, terms, workers)
+}
 
+// runSlotTerminal produces the record for one (slot, terminal) cell.
+// It is the single slot-processing body shared by the serial and
+// parallel engines, so the two cannot drift apart. m is the terminal's
+// dish state; the caller guarantees exclusive ownership.
+func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstruction.Map,
+	slotStart time.Time, snap []constellation.SatState, allocs []scheduler.Allocation,
+	attempted, correct, failed *int) SlotRecord {
+	var alloc scheduler.Allocation
+	for _, a := range allocs {
+		if a.Terminal == term.Name {
+			alloc = a
+			break
+		}
+	}
+	rec := SlotRecord{
+		Observation: Observation{
+			Terminal:  term.Name,
+			SlotStart: slotStart,
+			LocalHour: LocalHour(term.VantagePoint, slotStart),
+			Available: AvailableSet(snap, term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg),
+			ChosenIdx: -1,
+		},
+		TrueID: alloc.SatID,
+	}
+
+	switch {
+	case alloc.SatID == 0:
+		rec.SkipReason = "no satellite allocated"
+	case cfg.Oracle:
+		rec.IdentifiedID = alloc.SatID
+		rec.ChosenIdx = indexOf(rec.Available, alloc.SatID)
+		if rec.ChosenIdx < 0 {
+			rec.SkipReason = "allocated satellite not in public available set"
+		}
+	default:
+		prev := m.Clone()
+		if err := cfg.Identifier.PaintServingTrack(m, alloc.SatID, term.VantagePoint, slotStart); err != nil {
+			rec.SkipReason = err.Error()
+			break
+		}
+		ident, err := cfg.Identifier.IdentifyFromMapsSnapshot(prev, m, term.VantagePoint, slotStart, snap)
+		if err != nil {
+			rec.SkipReason = err.Error()
+			*failed++
+			break
+		}
+		*attempted++
+		rec.IdentifiedID = ident.SatID
+		rec.Margin = ident.Margin
+		if ident.SatID == alloc.SatID {
+			*correct++
+		}
+		rec.ChosenIdx = indexOf(rec.Available, ident.SatID)
+		if rec.ChosenIdx < 0 {
+			rec.SkipReason = "identified satellite not in public available set"
+		}
+	}
+	return rec
+}
+
+// runCampaignSerial is the single-threaded engine: one loop over
+// slots × terminals, checking ctx once per slot.
+func runCampaignSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal) (*CampaignResult, error) {
 	// Per-terminal dish state.
 	maps := make(map[string]*obstruction.Map, len(terms))
 	for _, t := range terms {
@@ -99,6 +188,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	res := &CampaignResult{}
 	start := scheduler.EpochStart(cfg.Start)
 	for slot := 0; slot < cfg.Slots; slot++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
 		snap := cfg.Identifier.cons.Snapshot(slotStart)
 		allocs := cfg.Scheduler.Allocate(slotStart)
@@ -110,59 +202,135 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 
 		for _, t := range terms {
-			var alloc scheduler.Allocation
-			for _, a := range allocs {
-				if a.Terminal == t.Name {
-					alloc = a
-					break
-				}
-			}
-			rec := SlotRecord{
-				Observation: Observation{
-					Terminal:  t.Name,
-					SlotStart: slotStart,
-					LocalHour: LocalHour(t.VantagePoint, slotStart),
-					Available: AvailableSet(snap, t.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg),
-					ChosenIdx: -1,
-				},
-				TrueID: alloc.SatID,
-			}
-
-			switch {
-			case alloc.SatID == 0:
-				rec.SkipReason = "no satellite allocated"
-			case cfg.Oracle:
-				rec.IdentifiedID = alloc.SatID
-				rec.ChosenIdx = indexOf(rec.Available, alloc.SatID)
-				if rec.ChosenIdx < 0 {
-					rec.SkipReason = "allocated satellite not in public available set"
-				}
-			default:
-				m := maps[t.Name]
-				prev := m.Clone()
-				if err := cfg.Identifier.PaintServingTrack(m, alloc.SatID, t.VantagePoint, slotStart); err != nil {
-					rec.SkipReason = err.Error()
-					break
-				}
-				ident, err := cfg.Identifier.IdentifyFromMaps(prev, m, t.VantagePoint, slotStart)
-				if err != nil {
-					rec.SkipReason = err.Error()
-					res.Failed++
-					break
-				}
-				res.Attempted++
-				rec.IdentifiedID = ident.SatID
-				rec.Margin = ident.Margin
-				if ident.SatID == alloc.SatID {
-					res.Correct++
-				}
-				rec.ChosenIdx = indexOf(rec.Available, ident.SatID)
-				if rec.ChosenIdx < 0 {
-					rec.SkipReason = "identified satellite not in public available set"
-				}
-			}
+			rec := runSlotTerminal(&cfg, t, maps[t.Name], slotStart, snap, allocs,
+				&res.Attempted, &res.Correct, &res.Failed)
 			res.Records = append(res.Records, rec)
 		}
+	}
+	return res, nil
+}
+
+// slotItem is one slot's ground-truth inputs, produced serially and
+// fanned out to every worker.
+type slotItem struct {
+	slot      int
+	slotStart time.Time
+	allocs    []scheduler.Allocation
+}
+
+// runCampaignParallel is the concurrent engine. Division of labor:
+//
+//   - The producer runs the scheduler serially in slot order — the
+//     controller is stateful (hidden load walk, score-noise RNG), so
+//     its call sequence must match the serial engine exactly.
+//   - Terminals are sharded across workers by index (terminal i goes
+//     to worker i % workers), so each terminal's obstruction map is
+//     owned by exactly one goroutine and evolves in slot order.
+//   - Constellation snapshots are pure and shared: computed once per
+//     slot by whichever worker needs it first, released after the last
+//     terminal consumes it so long campaigns stay bounded in memory.
+//   - Records land in a preallocated slice at (slot*nTerms + terminal),
+//     which is byte-identical to the serial engine's append order, and
+//     counters merge after the pool drains.
+func runCampaignParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, workers int) (*CampaignResult, error) {
+	nTerms := len(terms)
+	records := make([]SlotRecord, cfg.Slots*nTerms)
+
+	// Lazily computed, refcounted per-slot snapshots.
+	snaps := make([][]constellation.SatState, cfg.Slots)
+	snapOnce := make([]sync.Once, cfg.Slots)
+	snapLeft := make([]atomic.Int32, cfg.Slots)
+	for i := range snapLeft {
+		snapLeft[i].Store(int32(nTerms))
+	}
+	start := scheduler.EpochStart(cfg.Start)
+	slotTime := func(slot int) time.Time {
+		return start.Add(time.Duration(slot) * scheduler.Period)
+	}
+	getSnap := func(slot int) []constellation.SatState {
+		snapOnce[slot].Do(func() {
+			snaps[slot] = cfg.Identifier.cons.Snapshot(slotTime(slot))
+		})
+		return snaps[slot]
+	}
+	releaseSnap := func(slot int) {
+		if snapLeft[slot].Add(-1) == 0 {
+			snaps[slot] = nil
+		}
+	}
+
+	type counters struct{ attempted, correct, failed int }
+	chans := make([]chan slotItem, workers)
+	for w := range chans {
+		// A small buffer decouples the producer from the slowest
+		// worker without letting snapshots pile up.
+		chans[w] = make(chan slotItem, 4)
+	}
+	tallies := make([]counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Dish state for the terminals this worker owns.
+			maps := make(map[string]*obstruction.Map)
+			for ti := w; ti < nTerms; ti += workers {
+				maps[terms[ti].Name] = obstruction.New()
+			}
+			var c counters
+			for item := range chans[w] {
+				if ctx.Err() != nil {
+					continue // drain; the run is abandoned
+				}
+				if cfg.ResetEvery > 0 && item.slot%cfg.ResetEvery == 0 && item.slot > 0 {
+					for _, m := range maps {
+						m.Reset()
+					}
+				}
+				for ti := w; ti < nTerms; ti += workers {
+					t := terms[ti]
+					rec := runSlotTerminal(&cfg, t, maps[t.Name], item.slotStart,
+						getSnap(item.slot), item.allocs,
+						&c.attempted, &c.correct, &c.failed)
+					releaseSnap(item.slot)
+					records[item.slot*nTerms+ti] = rec
+				}
+			}
+			tallies[w] = c
+		}(w)
+	}
+
+	var cancelErr error
+produce:
+	for slot := 0; slot < cfg.Slots; slot++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
+		t := slotTime(slot)
+		item := slotItem{slot: slot, slotStart: t, allocs: cfg.Scheduler.Allocate(t)}
+		for _, ch := range chans {
+			select {
+			case ch <- item:
+			case <-ctx.Done():
+				cancelErr = ctx.Err()
+				break produce
+			}
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+
+	res := &CampaignResult{Records: records}
+	for _, c := range tallies {
+		res.Attempted += c.attempted
+		res.Correct += c.correct
+		res.Failed += c.failed
 	}
 	return res, nil
 }

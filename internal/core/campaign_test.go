@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// campaignCfg builds a campaign over the shared fixture constellation
+// with a fresh scheduler. The scheduler is stateful (hidden load walk,
+// score-noise RNG), so byte-identical comparisons need one instance
+// per run, seeded the same.
+func campaignCfg(t *testing.T, seed int64, workers int, oracle bool) CampaignConfig {
+	t.Helper()
+	return CampaignConfig{
+		Scheduler:  mustScheduler(t, fixture.cons, seed),
+		Identifier: fixture.ident,
+		Start:      fixture.cons.Epoch.Add(4 * time.Hour),
+		Slots:      24,
+		ResetEvery: 10,
+		Oracle:     oracle,
+		Workers:    workers,
+	}
+}
+
+// TestParallelCampaignMatchesSerial is the determinism guarantee for
+// the worker-pool engine: record order, record content, and the
+// accuracy counters must match the serial run exactly, at several
+// worker counts. Run under -race it also guards the engine's
+// synchronization (shared snapshots, sharded dish state, merge).
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	setupFixture(t)
+	for _, oracle := range []bool{true, false} {
+		serial, err := RunCampaign(context.Background(), campaignCfg(t, 99, 1, oracle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 8} {
+			par, err := RunCampaign(context.Background(), campaignCfg(t, 99, workers, oracle))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Attempted != serial.Attempted || par.Correct != serial.Correct || par.Failed != serial.Failed {
+				t.Errorf("oracle=%v workers=%d: counters (%d,%d,%d) != serial (%d,%d,%d)",
+					oracle, workers, par.Attempted, par.Correct, par.Failed,
+					serial.Attempted, serial.Correct, serial.Failed)
+			}
+			if len(par.Records) != len(serial.Records) {
+				t.Fatalf("oracle=%v workers=%d: %d records != serial %d",
+					oracle, workers, len(par.Records), len(serial.Records))
+			}
+			for i := range serial.Records {
+				if !reflect.DeepEqual(par.Records[i], serial.Records[i]) {
+					t.Fatalf("oracle=%v workers=%d: record %d differs:\nparallel: %+v\nserial:   %+v",
+						oracle, workers, i, par.Records[i], serial.Records[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignCancellation checks ctx threading in both engines: a
+// pre-canceled context aborts promptly with the context's error.
+func TestCampaignCancellation(t *testing.T) {
+	setupFixture(t)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := RunCampaign(ctx, campaignCfg(t, 5, workers, true))
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Errorf("workers=%d: canceled run returned a result", workers)
+		}
+	}
+}
+
+// TestCampaignMidRunCancellation cancels while the parallel engine is
+// in flight; the run must stop and report the cancellation.
+func TestCampaignMidRunCancellation(t *testing.T) {
+	setupFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := campaignCfg(t, 6, 4, false)
+	cfg.Slots = 200
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCampaign(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not stop after cancel")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -57,7 +58,7 @@ func setupFixture(t testing.TB) {
 		if err != nil {
 			panic(err)
 		}
-		res, err := RunCampaign(CampaignConfig{
+		res, err := RunCampaign(context.Background(), CampaignConfig{
 			Scheduler:  sched,
 			Identifier: ident,
 			Start:      cons.Epoch.Add(time.Hour),
@@ -79,13 +80,13 @@ func setupFixture(t testing.TB) {
 
 func TestCampaignValidation(t *testing.T) {
 	setupFixture(t)
-	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{}); err == nil {
 		t.Error("nil scheduler accepted")
 	}
-	if _, err := RunCampaign(CampaignConfig{Scheduler: fixture.sched}); err == nil {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{Scheduler: fixture.sched}); err == nil {
 		t.Error("nil identifier accepted")
 	}
-	if _, err := RunCampaign(CampaignConfig{Scheduler: fixture.sched, Identifier: fixture.ident}); err == nil {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{Scheduler: fixture.sched, Identifier: fixture.ident}); err == nil {
 		t.Error("zero slots accepted")
 	}
 }
@@ -123,7 +124,7 @@ func TestOracleObservationsShape(t *testing.T) {
 // (the paper's pilot study agreed with manual inspection >99%).
 func TestIdentificationAccuracy(t *testing.T) {
 	setupFixture(t)
-	res, err := RunCampaign(CampaignConfig{
+	res, err := RunCampaign(context.Background(), CampaignConfig{
 		Scheduler:  mustScheduler(t, fixture.cons, 77),
 		Identifier: fixture.ident,
 		Start:      fixture.cons.Epoch.Add(2 * time.Hour),

@@ -39,7 +39,16 @@ func NewIdentifier(cons *constellation.Constellation) (*Identifier, error) {
 // CandidateTracks samples the projected sky-track of every satellite
 // in the terminal's field of view over the slot.
 func (id *Identifier) CandidateTracks(vp geo.VantagePoint, slotStart time.Time) []dtw.Candidate {
-	fov := id.cons.FieldOfView(vp.Location, slotStart, id.MinElevationDeg)
+	return id.CandidateTracksFromSnapshot(id.cons.Snapshot(slotStart), vp, slotStart)
+}
+
+// CandidateTracksFromSnapshot is CandidateTracks over a precomputed
+// constellation snapshot for slotStart. The campaign engine shares one
+// snapshot per slot across terminals and workers, which removes the
+// full-constellation re-propagation from the hot identification loop;
+// the output is identical to CandidateTracks.
+func (id *Identifier) CandidateTracksFromSnapshot(snap []constellation.SatState, vp geo.VantagePoint, slotStart time.Time) []dtw.Candidate {
+	fov := constellation.ObserveFrom(vp.Location, snap, id.MinElevationDeg)
 	cands := make([]dtw.Candidate, 0, len(fov))
 	for _, v := range fov {
 		track := id.sampleTrack(v.Sat, vp.Location, slotStart)
@@ -112,6 +121,13 @@ type Identification struct {
 // IdentifyFromMaps runs the full §4 pipeline on two consecutive
 // obstruction-map snapshots.
 func (id *Identifier) IdentifyFromMaps(prev, cur *obstruction.Map, vp geo.VantagePoint, slotStart time.Time) (Identification, error) {
+	return id.IdentifyFromMapsSnapshot(prev, cur, vp, slotStart, nil)
+}
+
+// IdentifyFromMapsSnapshot is IdentifyFromMaps with an optional
+// precomputed constellation snapshot for slotStart (nil propagates one
+// internally). Results are identical either way.
+func (id *Identifier) IdentifyFromMapsSnapshot(prev, cur *obstruction.Map, vp geo.VantagePoint, slotStart time.Time, snap []constellation.SatState) (Identification, error) {
 	diff := obstruction.XOR(prev, cur)
 	track := diff.Track()
 	if len(track) < 2 {
@@ -119,7 +135,10 @@ func (id *Identifier) IdentifyFromMaps(prev, cur *obstruction.Map, vp geo.Vantag
 			slotStart, vp.Name, len(track))
 	}
 	observed := dtw.FromPolarTrack(track)
-	cands := id.CandidateTracks(vp, slotStart)
+	if snap == nil {
+		snap = id.cons.Snapshot(slotStart)
+	}
+	cands := id.CandidateTracksFromSnapshot(snap, vp, slotStart)
 	if len(cands) == 0 {
 		return Identification{}, fmt.Errorf("core: slot %v at %s: no candidate satellites in view", slotStart, vp.Name)
 	}

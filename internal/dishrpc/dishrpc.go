@@ -162,6 +162,11 @@ func readFrame(r io.Reader, v any) error {
 type Server struct {
 	dish *Dish
 	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0").
@@ -173,36 +178,70 @@ func NewServer(addr string, dish *Dish) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dishrpc: listen %q: %w", addr, err)
 	}
-	return &Server{dish: dish, ln: ln}, nil
+	return &Server{dish: dish, ln: ln, conns: make(map[net.Conn]struct{})}, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Serve accepts connections until ctx is canceled or the listener
-// closes. Each connection handles requests sequentially.
+// closes. Each connection handles requests sequentially. On shutdown,
+// in-flight connections are closed and Serve waits for their handlers
+// to drain before returning.
 func (s *Server) Serve(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		s.ln.Close()
+		s.Close()
 	}()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
+			s.closeConns()
+			s.wg.Wait()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return fmt.Errorf("dishrpc: accept: %w", err)
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
 
-// Close shuts the listener.
-func (s *Server) Close() error { return s.ln.Close() }
+// closeConns marks the server closed and disconnects every open
+// connection, so handlers stop serving promptly on shutdown.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Close shuts the listener and disconnects open connections. Safe to
+// call more than once.
+func (s *Server) Close() error {
+	s.closeConns()
+	return s.ln.Close()
+}
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
@@ -252,28 +291,49 @@ func (s *Server) dispatch(req *request) response {
 	return resp
 }
 
+// DefaultCallTimeout bounds each RPC round trip; a poller on a
+// 15-second snapshot cadence cannot afford to hang on a stalled
+// daemon.
+const DefaultCallTimeout = 10 * time.Second
+
 // Client talks to a dish daemon. Not safe for concurrent use; open one
 // client per goroutine (like the underlying tools).
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	next uint64
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	next    uint64
+	timeout time.Duration
 }
 
-// Dial connects to a daemon.
+// Dial connects to a daemon. Calls time out after DefaultCallTimeout;
+// adjust with SetCallTimeout.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("dishrpc: dial %q: %w", addr, err)
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		timeout: DefaultCallTimeout,
+	}, nil
 }
+
+// SetCallTimeout changes the per-call deadline. d <= 0 disables it.
+func (c *Client) SetCallTimeout(d time.Duration) { c.timeout = d }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) call(method string, out any) error {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("dishrpc: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.next++
 	req := request{ID: c.next, Method: method}
 	if err := writeFrame(c.bw, &req); err != nil {

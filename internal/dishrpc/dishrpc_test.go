@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -242,5 +243,128 @@ func TestNewServerNilDish(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dial to closed port succeeded")
+	}
+}
+
+// TestCallTimeoutOnStalledServer covers the stalled-daemon bugfix: a
+// server that accepts but never responds must not hang the poller —
+// the call fails once the per-call deadline passes.
+func TestCallTimeoutOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept, read nothing, answer nothing
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err = c.Status()
+	if err == nil {
+		t.Fatal("call against a stalled server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("error %v is not a timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("call took %v despite 100ms timeout", d)
+	}
+}
+
+// TestServeShutdownDisconnectsClients covers the in-flight-connection
+// bugfix: after ctx cancel, a connected client must observe a
+// disconnect instead of being served indefinitely.
+func TestServeShutdownDisconnectsClients(t *testing.T) {
+	dish := NewDish("d", nil)
+	srv, err := NewServer("127.0.0.1:0", dish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Status(); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != context.Canceled {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	// The connection was closed server-side, so the next call fails.
+	c.SetCallTimeout(time.Second)
+	if _, err := c.Status(); err == nil {
+		t.Error("client still served after server shutdown")
+	}
+}
+
+// TestConcurrentClientStress interleaves status/map/reset from many
+// clients at once; run under -race it guards the whole server surface
+// (dish state, connection tracking, shutdown).
+func TestConcurrentClientStress(t *testing.T) {
+	dish := NewDish("d", nil)
+	srv := startServer(t, dish)
+	const clients = 8
+	done := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(n int) {
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 25; j++ {
+				switch (n + j) % 3 {
+				case 0:
+					if _, err := c.Status(); err != nil {
+						done <- err
+						return
+					}
+				case 1:
+					if _, err := c.ObstructionMap(); err != nil {
+						done <- err
+						return
+					}
+				default:
+					dish.PaintTrack(track())
+					if err := c.Reset(); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,6 +71,10 @@ type Config struct {
 	// VantagePoints overrides the study's four sites (e.g. the §8
 	// southern-hemisphere generalization).
 	VantagePoints []geo.VantagePoint
+	// Workers bounds the campaign worker pool (see
+	// core.CampaignConfig.Workers). 0 uses all CPUs; 1 forces the
+	// serial engine.
+	Workers int
 }
 
 // Env is a ready-to-run reproduction environment.
@@ -79,6 +84,19 @@ type Env struct {
 	Ident     *core.Identifier
 	Terminals []scheduler.Terminal
 	Seed      int64
+	// Workers is passed to every campaign this environment runs.
+	Workers int
+	// Ctx, when non-nil, cancels this environment's campaign loops
+	// (cmd/repro wires Ctrl-C here). Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the environment's cancellation context.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // NewEnv builds the constellation, terminals, scheduler, and
@@ -118,7 +136,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed}, nil
+	return &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed, Workers: cfg.Workers}, nil
 }
 
 // Start returns the campaign start time (one hour past the TLE epoch,
@@ -333,11 +351,12 @@ func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
 	}
 	ident := *e.Ident
 	ident.UseNaiveMatcher = naive
-	res, err := core.RunCampaign(core.CampaignConfig{
+	res, err := core.RunCampaign(e.ctx(), core.CampaignConfig{
 		Scheduler:  e.Sched,
 		Identifier: &ident,
 		Start:      e.Start(),
 		Slots:      slots,
+		Workers:    e.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -365,12 +384,13 @@ func (e *Env) Observations(slots int) ([]core.Observation, error) {
 	if slots == 0 {
 		slots = 500
 	}
-	res, err := core.RunCampaign(core.CampaignConfig{
+	res, err := core.RunCampaign(e.ctx(), core.CampaignConfig{
 		Scheduler:  e.Sched,
 		Identifier: e.Ident,
 		Start:      e.Start(),
 		Slots:      slots,
 		Oracle:     true,
+		Workers:    e.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -107,6 +107,12 @@ type Server struct {
 	mu      sync.Mutex
 	served  uint64
 	dropped uint64
+	closed  bool
+	// timers tracks replies held by a DelayFunc so Close can stop them
+	// before they write to a closed socket; held counts the same set
+	// for Close to wait on.
+	timers map[*time.Timer]struct{}
+	held   sync.WaitGroup
 }
 
 // NewServer opens a UDP listener on addr (e.g. "127.0.0.1:0").
@@ -119,7 +125,7 @@ func NewServer(addr string, delay DelayFunc) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("irtt: listen %q: %w", addr, err)
 	}
-	return &Server{conn: conn, delay: delay}, nil
+	return &Server{conn: conn, delay: delay, timers: make(map[*time.Timer]struct{})}, nil
 }
 
 // Addr returns the bound address.
@@ -134,10 +140,12 @@ func (s *Server) Stats() (served, dropped uint64) {
 
 // Serve processes probes until ctx is canceled or the connection is
 // closed. It always returns a non-nil error (ctx.Err or a read error).
+// Replies still held by a DelayFunc when ctx is canceled are stopped,
+// not delivered.
 func (s *Server) Serve(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		s.conn.Close()
+		s.Close()
 	}()
 	buf := make([]byte, 2048)
 	out := make([]byte, packetSize)
@@ -169,26 +177,71 @@ func (s *Server) Serve(ctx context.Context) error {
 		p.ServerRecv = arrival.UnixNano()
 		reply := p.marshal(out)
 		if hold > 0 {
-			// Hold the reply without blocking the receive loop.
-			cp := append([]byte(nil), reply...)
-			peerCopy := *peer
-			timer := time.AfterFunc(hold, func() {
-				s.conn.WriteToUDP(cp, &peerCopy)
-			})
-			_ = timer
+			s.holdReply(reply, peer, hold)
 		} else {
-			if _, err := s.conn.WriteToUDP(reply, peer); err != nil && ctx.Err() != nil {
-				return ctx.Err()
+			if _, err := s.conn.WriteToUDP(reply, peer); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				continue // failed echo: not served
 			}
+			s.mu.Lock()
+			s.served++
+			s.mu.Unlock()
 		}
-		s.mu.Lock()
-		s.served++
-		s.mu.Unlock()
 	}
 }
 
-// Close shuts the listener.
-func (s *Server) Close() error { return s.conn.Close() }
+// holdReply schedules a delayed echo without blocking the receive
+// loop. The timer is tracked so Close can stop it; served counts only
+// when the write actually succeeds.
+func (s *Server) holdReply(reply []byte, peer *net.UDPAddr, hold time.Duration) {
+	cp := append([]byte(nil), reply...)
+	peerCopy := *peer
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.held.Add(1)
+	var timer *time.Timer
+	timer = time.AfterFunc(hold, func() {
+		defer s.held.Done()
+		// The registration below holds s.mu, so this lock also
+		// guarantees timer is assigned and tracked before we run.
+		s.mu.Lock()
+		delete(s.timers, timer)
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if _, err := s.conn.WriteToUDP(cp, &peerCopy); err == nil {
+			s.mu.Lock()
+			s.served++
+			s.mu.Unlock()
+		}
+	})
+	s.timers[timer] = struct{}{}
+}
+
+// Close stops held replies, waits for in-flight ones, and shuts the
+// listener. Safe to call more than once and concurrently with Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for t := range s.timers {
+		if t.Stop() {
+			s.held.Done()
+		}
+		delete(s.timers, t)
+	}
+	s.mu.Unlock()
+	// Timers that already fired finish (or see closed) before the
+	// socket goes away.
+	s.held.Wait()
+	return s.conn.Close()
+}
 
 // Result is one probe outcome.
 type Result struct {
@@ -235,6 +288,11 @@ func Run(ctx context.Context, addr string, cfg ClientConfig) ([]Result, error) {
 	}
 	defer conn.Close()
 
+	// results is written by both the sender (marking each probe sent)
+	// and the receiver goroutine (matching replies); the sockets give
+	// no memory-model edge between the two, so every access goes
+	// through resMu.
+	var resMu sync.Mutex
 	results := make([]Result, cfg.Count)
 	done := make(chan struct{})
 
@@ -255,12 +313,16 @@ func Run(ctx context.Context, addr string, cfg ClientConfig) ([]Result, error) {
 			if p.Seq >= uint64(cfg.Count) {
 				continue
 			}
+			resMu.Lock()
 			r := &results[p.Seq]
-			if !r.Lost {
-				continue // duplicate
+			if r.SendTime.IsZero() || !r.Lost {
+				// Not sent yet (spoofed/ahead reply) or duplicate.
+				resMu.Unlock()
+				continue
 			}
 			r.Lost = false
 			r.RTT = now.Sub(time.Unix(0, p.ClientSend))
+			resMu.Unlock()
 		}
 	}()
 
@@ -270,7 +332,9 @@ func Run(ctx context.Context, addr string, cfg ClientConfig) ([]Result, error) {
 	defer ticker.Stop()
 	for i := 0; i < cfg.Count; i++ {
 		sendTime := time.Now()
+		resMu.Lock()
 		results[i] = Result{Seq: uint64(i), SendTime: sendTime, Lost: true}
+		resMu.Unlock()
 		p := packet{Type: typeRequest, Seq: uint64(i), ClientSend: sendTime.UnixNano()}
 		if _, err := conn.Write(p.marshal(sendBuf)); err != nil {
 			return nil, fmt.Errorf("irtt: send %d: %w", i, err)

@@ -214,3 +214,146 @@ func TestServerIgnoresGarbage(t *testing.T) {
 func netDial(addr string) (io.WriteCloser, error) {
 	return net.Dial("udp", addr)
 }
+
+// TestClientResultsRace is the regression test for the unsynchronized
+// results slice shared between Run's sender and receiver goroutines.
+// The echo server answers every probe twice: once honestly and once
+// claiming the NEXT sequence number, so the receiver touches
+// results[i] in the window before the sender initializes it. Under
+// `go test -race` the pre-fix client reports a data race here.
+func TestClientResultsRace(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		out := make([]byte, packetSize)
+		for {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			p, err := parsePacket(buf[:n])
+			if err != nil || p.Type != typeRequest {
+				continue
+			}
+			p.Type = typeReply
+			p.ServerRecv = time.Now().UnixNano()
+			conn.WriteToUDP(p.marshal(out), peer)
+			p.Seq++ // ahead-of-schedule reply
+			conn.WriteToUDP(p.marshal(out), peer)
+		}
+	}()
+	results, err := Run(context.Background(), conn.LocalAddr().String(), ClientConfig{
+		Interval: 100 * time.Microsecond,
+		Count:    500,
+		Timeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 500 {
+		t.Fatalf("%d results", len(results))
+	}
+	sum := Summarize(results)
+	if sum.Received == 0 {
+		t.Fatal("no replies")
+	}
+	// The spoofed ahead-of-schedule replies must not have been counted
+	// as real echoes: every non-lost RTT must be positive.
+	for _, r := range results {
+		if !r.Lost && r.RTT <= 0 {
+			t.Fatalf("probe %d recorded non-positive RTT %v", r.Seq, r.RTT)
+		}
+	}
+}
+
+// TestServerCloseStopsHeldReplies covers shutdown with replies still
+// held by a DelayFunc: Close must stop the outstanding timers rather
+// than let them fire into a closed socket, and held replies that never
+// went out must not count as served.
+func TestServerCloseStopsHeldReplies(t *testing.T) {
+	const hold = 5 * time.Second
+	srv, err := NewServer("127.0.0.1:0", func(time.Time) (time.Duration, bool) { return hold, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	// Fire a few probes; replies are now parked on timers.
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 5; i++ {
+		p := packet{Type: typeRequest, Seq: uint64(i), ClientSend: time.Now().UnixNano()}
+		if _, err := conn.Write(p.marshal(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the server has parked all five replies.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.mu.Lock()
+		parked := len(srv.timers)
+		srv.mu.Unlock()
+		if parked == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d replies parked", parked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > hold/2 {
+		t.Fatalf("Close blocked %v; held timers were not stopped", d)
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	served, _ := srv.Stats()
+	if served != 0 {
+		t.Errorf("served = %d for replies that never went out", served)
+	}
+	srv.mu.Lock()
+	left := len(srv.timers)
+	srv.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d timers still tracked after Close", left)
+	}
+}
+
+// TestServerDelayedServedCount checks the other half of the held-reply
+// fix: replies that do go out are counted when the write succeeds.
+func TestServerDelayedServedCount(t *testing.T) {
+	srv, _ := startServer(t, func(time.Time) (time.Duration, bool) { return 2 * time.Millisecond, false })
+	results, err := Run(context.Background(), srv.Addr().String(), ClientConfig{
+		Interval: 2 * time.Millisecond,
+		Count:    10,
+		Timeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := Summarize(results).Received
+	if received == 0 {
+		t.Fatal("no replies")
+	}
+	served, _ := srv.Stats()
+	if served < uint64(received) {
+		t.Errorf("served = %d < received = %d", served, received)
+	}
+}
