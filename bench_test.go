@@ -13,9 +13,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dtw"
 	"repro/internal/experiments"
 	"repro/internal/ml"
 	"repro/internal/obstruction"
+	"repro/internal/scheduler"
 )
 
 // benchEnv lazily builds one shared environment + observation set so
@@ -118,6 +120,50 @@ func BenchmarkIdentification(b *testing.B) {
 	}
 	b.ReportMetric(acc*100, "acc%")
 }
+
+// benchIdentifySlot times one slot of the §4 identification — XOR,
+// track recovery, candidate sampling, DTW matching — exactly as the
+// campaign engine invokes it: constellation snapshot precomputed and
+// a per-worker matcher reused across iterations.
+func benchIdentifySlot(b *testing.B, brute bool) {
+	env, _, _ := benchSetup(b)
+	fig3, err := env.Fig3("Iowa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vp = env.Terminals[0].VantagePoint
+	for _, t := range env.Terminals {
+		if t.Name == "Iowa" {
+			vp = t.VantagePoint
+		}
+	}
+	slotStart := env.Start().Add(scheduler.Period)
+	snap := env.Cons.Snapshot(slotStart)
+	matcher := &dtw.Matcher{}
+	orig := env.Ident.DisablePruning
+	env.Ident.DisablePruning = brute
+	defer func() { env.Ident.DisablePruning = orig }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ident core.Identification
+	for i := 0; i < b.N; i++ {
+		ident, err = env.Ident.IdentifyFromMapsMatcher(fig3.Prev, fig3.Cur, vp, slotStart, snap, matcher)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ident.SatID), "sat_id")
+	b.ReportMetric(ident.Margin, "margin")
+}
+
+// BenchmarkIdentifySlot is the pruned-matcher identification path the
+// campaign uses.
+func BenchmarkIdentifySlot(b *testing.B) { benchIdentifySlot(b, false) }
+
+// BenchmarkIdentifySlotBrute is the same slot through brute-force
+// dtw.Identify; compare ns/op against BenchmarkIdentifySlot for the
+// pruning speedup (the two are bit-identical).
+func BenchmarkIdentifySlotBrute(b *testing.B) { benchIdentifySlot(b, true) }
 
 // benchCampaign times the full non-oracle campaign loop (paint → XOR
 // → DTW per terminal per slot) at a given worker-pool size.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/constellation"
+	"repro/internal/dtw"
 	"repro/internal/obstruction"
 	"repro/internal/scheduler"
 )
@@ -119,10 +120,13 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 // runSlotTerminal produces the record for one (slot, terminal) cell.
 // It is the single slot-processing body shared by the serial and
 // parallel engines, so the two cannot drift apart. m is the terminal's
-// dish state; the caller guarantees exclusive ownership.
+// dish state; the caller guarantees exclusive ownership. matcher is
+// the caller's reusable DTW engine (one per worker), likewise owned
+// exclusively; results are bit-identical at any matcher because
+// pruning is exact.
 func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstruction.Map,
-	slotStart time.Time, snap []constellation.SatState, allocs []scheduler.Allocation,
-	attempted, correct, failed *int) SlotRecord {
+	matcher *dtw.Matcher, slotStart time.Time, snap []constellation.SatState,
+	allocs []scheduler.Allocation, attempted, correct, failed *int) SlotRecord {
 	var alloc scheduler.Allocation
 	for _, a := range allocs {
 		if a.Terminal == term.Name {
@@ -156,7 +160,7 @@ func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstructio
 			rec.SkipReason = err.Error()
 			break
 		}
-		ident, err := cfg.Identifier.IdentifyFromMapsSnapshot(prev, m, term.VantagePoint, slotStart, snap)
+		ident, err := cfg.Identifier.IdentifyFromMapsMatcher(prev, m, term.VantagePoint, slotStart, snap, matcher)
 		if err != nil {
 			rec.SkipReason = err.Error()
 			*failed++
@@ -179,11 +183,12 @@ func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstructio
 // runCampaignSerial is the single-threaded engine: one loop over
 // slots × terminals, checking ctx once per slot.
 func runCampaignSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal) (*CampaignResult, error) {
-	// Per-terminal dish state.
+	// Per-terminal dish state; one matcher serves the whole run.
 	maps := make(map[string]*obstruction.Map, len(terms))
 	for _, t := range terms {
 		maps[t.Name] = obstruction.New()
 	}
+	matcher := &dtw.Matcher{}
 
 	res := &CampaignResult{}
 	start := scheduler.EpochStart(cfg.Start)
@@ -202,7 +207,7 @@ func runCampaignSerial(ctx context.Context, cfg CampaignConfig, terms []schedule
 		}
 
 		for _, t := range terms {
-			rec := runSlotTerminal(&cfg, t, maps[t.Name], slotStart, snap, allocs,
+			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, snap, allocs,
 				&res.Attempted, &res.Correct, &res.Failed)
 			res.Records = append(res.Records, rec)
 		}
@@ -272,11 +277,13 @@ func runCampaignParallel(ctx context.Context, cfg CampaignConfig, terms []schedu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Dish state for the terminals this worker owns.
+			// Dish state for the terminals this worker owns, plus the
+			// worker's own matcher (scratch buffers are not shareable).
 			maps := make(map[string]*obstruction.Map)
 			for ti := w; ti < nTerms; ti += workers {
 				maps[terms[ti].Name] = obstruction.New()
 			}
+			matcher := &dtw.Matcher{}
 			var c counters
 			for item := range chans[w] {
 				if ctx.Err() != nil {
@@ -289,7 +296,7 @@ func runCampaignParallel(ctx context.Context, cfg CampaignConfig, terms []schedu
 				}
 				for ti := w; ti < nTerms; ti += workers {
 					t := terms[ti]
-					rec := runSlotTerminal(&cfg, t, maps[t.Name], item.slotStart,
+					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, item.slotStart,
 						getSnap(item.slot), item.allocs,
 						&c.attempted, &c.correct, &c.failed)
 					releaseSnap(item.slot)

@@ -26,6 +26,12 @@ type Identifier struct {
 	// UseNaiveMatcher switches to the nearest-endpoint ablation
 	// baseline instead of DTW.
 	UseNaiveMatcher bool
+	// DisablePruning routes matching through the brute-force
+	// dtw.Identify instead of the pruned dtw.Matcher. The two are
+	// bit-identical by construction; the knob exists so that guarantee
+	// stays testable end to end (see TestCampaignMatcherBruteIdentical)
+	// and to time the unpruned baseline.
+	DisablePruning bool
 }
 
 // NewIdentifier builds an identifier over public TLE data.
@@ -37,8 +43,12 @@ func NewIdentifier(cons *constellation.Constellation) (*Identifier, error) {
 }
 
 // CandidateTracks samples the projected sky-track of every satellite
-// in the terminal's field of view over the slot.
-func (id *Identifier) CandidateTracks(vp geo.VantagePoint, slotStart time.Time) []dtw.Candidate {
+// in the terminal's field of view over the slot. The second return is
+// the number of in-view candidates dropped because propagation failed
+// mid-slot; a dropped candidate is distinguishable from one that was
+// simply below the mask all slot, because the (possibly true) serving
+// satellite may be among the dropped.
+func (id *Identifier) CandidateTracks(vp geo.VantagePoint, slotStart time.Time) ([]dtw.Candidate, int) {
 	return id.CandidateTracksFromSnapshot(id.cons.Snapshot(slotStart), vp, slotStart)
 }
 
@@ -47,27 +57,43 @@ func (id *Identifier) CandidateTracks(vp geo.VantagePoint, slotStart time.Time) 
 // snapshot per slot across terminals and workers, which removes the
 // full-constellation re-propagation from the hot identification loop;
 // the output is identical to CandidateTracks.
-func (id *Identifier) CandidateTracksFromSnapshot(snap []constellation.SatState, vp geo.VantagePoint, slotStart time.Time) []dtw.Candidate {
+func (id *Identifier) CandidateTracksFromSnapshot(snap []constellation.SatState, vp geo.VantagePoint, slotStart time.Time) ([]dtw.Candidate, int) {
 	fov := constellation.ObserveFrom(vp.Location, snap, id.MinElevationDeg)
 	cands := make([]dtw.Candidate, 0, len(fov))
+	dropped := 0
 	for _, v := range fov {
-		track := id.sampleTrack(v.Sat, vp.Location, slotStart)
-		if len(track) == 0 {
+		track, err := id.sampleTrack(v.Sat, vp.Location, slotStart)
+		if err != nil {
+			dropped++
 			continue
+		}
+		if len(track) == 0 {
+			continue // below the mask for the whole slot
 		}
 		cands = append(cands, dtw.Candidate{ID: v.Sat.ID, Track: track})
 	}
-	return cands
+	return cands, dropped
 }
 
 // CandidatePolarTracks returns every in-view satellite's sky-track
 // over the slot in polar form, keyed by satellite ID — the input for
 // skyplot.Validation, the §4 manual-check rendering.
 func (id *Identifier) CandidatePolarTracks(vp geo.VantagePoint, slotStart time.Time) map[int][]obstruction.PolarPoint {
-	fov := id.cons.FieldOfView(vp.Location, slotStart, id.MinElevationDeg)
+	return id.CandidatePolarTracksFromSnapshot(id.cons.Snapshot(slotStart), vp, slotStart)
+}
+
+// CandidatePolarTracksFromSnapshot is CandidatePolarTracks over a
+// precomputed constellation snapshot for slotStart, mirroring the rest
+// of the identify path: the field of view comes from the shared
+// snapshot and each in-view satellite is propagated across the slot
+// exactly once, instead of re-propagating the full constellation in
+// FieldOfView and then each satellite again through ServingTrack's
+// ID lookup. The output is identical to CandidatePolarTracks.
+func (id *Identifier) CandidatePolarTracksFromSnapshot(snap []constellation.SatState, vp geo.VantagePoint, slotStart time.Time) map[int][]obstruction.PolarPoint {
+	fov := constellation.ObserveFrom(vp.Location, snap, id.MinElevationDeg)
 	out := make(map[int][]obstruction.PolarPoint, len(fov))
 	for _, v := range fov {
-		pts, err := id.ServingTrack(v.Sat.ID, vp, slotStart)
+		pts, err := id.samplePolarTrack(v.Sat, vp.Location, slotStart)
 		if err != nil {
 			continue
 		}
@@ -84,15 +110,40 @@ func (id *Identifier) CandidatePolarTracks(vp geo.VantagePoint, slotStart time.T
 	return out
 }
 
+// samplePolarTrack samples one satellite's look angles across the
+// slot, below-mask points included. A propagation error aborts the
+// track: the caller decides whether that means "drop the candidate"
+// or "fail the call".
+func (id *Identifier) samplePolarTrack(sat *constellation.Satellite, obs astro.Geodetic, slotStart time.Time) ([]obstruction.PolarPoint, error) {
+	var pts []obstruction.PolarPoint
+	for dt := time.Duration(0); dt <= scheduler.Period; dt += id.SampleStep {
+		t := slotStart.Add(dt)
+		st, err := sat.Propagator.PropagateAt(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: propagate %d: %w", sat.ID, err)
+		}
+		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
+		la := astro.Observe(obs, posECEF)
+		pts = append(pts, obstruction.PolarPoint{
+			ElevationDeg: la.ElevationDeg,
+			AzimuthDeg:   la.AzimuthDeg,
+		})
+	}
+	return pts, nil
+}
+
 // sampleTrack samples one satellite's look angles across the slot and
-// projects the above-mask points onto the plot plane.
-func (id *Identifier) sampleTrack(sat *constellation.Satellite, obs astro.Geodetic, slotStart time.Time) []dtw.Point {
+// projects the above-mask points onto the plot plane. A propagation
+// error is surfaced, not conflated with "below the mask all slot": a
+// transient SGP4 failure mid-slot must not silently delete a possibly
+// true serving satellite from the candidate set.
+func (id *Identifier) sampleTrack(sat *constellation.Satellite, obs astro.Geodetic, slotStart time.Time) ([]dtw.Point, error) {
 	var out []dtw.Point
 	for dt := time.Duration(0); dt <= scheduler.Period; dt += id.SampleStep {
 		t := slotStart.Add(dt)
 		st, err := sat.Propagator.PropagateAt(t)
 		if err != nil {
-			return nil
+			return nil, fmt.Errorf("core: propagate %d: %w", sat.ID, err)
 		}
 		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
 		la := astro.Observe(obs, posECEF)
@@ -104,7 +155,7 @@ func (id *Identifier) sampleTrack(sat *constellation.Satellite, obs astro.Geodet
 			AzimuthDeg:   la.AzimuthDeg,
 		}))
 	}
-	return out
+	return out, nil
 }
 
 // Identification is the outcome of one slot's §4 matching.
@@ -116,6 +167,10 @@ type Identification struct {
 	Margin    float64 // runner-up distance minus winner distance
 	// TrackLen is the number of sky points recovered from the XOR diff.
 	TrackLen int
+	// Dropped is the number of in-view candidates lost to propagation
+	// errors mid-slot. Non-zero means the candidate set was incomplete
+	// and the identification should be treated with suspicion.
+	Dropped int
 }
 
 // IdentifyFromMaps runs the full §4 pipeline on two consecutive
@@ -128,6 +183,16 @@ func (id *Identifier) IdentifyFromMaps(prev, cur *obstruction.Map, vp geo.Vantag
 // precomputed constellation snapshot for slotStart (nil propagates one
 // internally). Results are identical either way.
 func (id *Identifier) IdentifyFromMapsSnapshot(prev, cur *obstruction.Map, vp geo.VantagePoint, slotStart time.Time, snap []constellation.SatState) (Identification, error) {
+	return id.IdentifyFromMapsMatcher(prev, cur, vp, slotStart, snap, nil)
+}
+
+// IdentifyFromMapsMatcher is IdentifyFromMapsSnapshot with an optional
+// reusable dtw.Matcher (nil uses a fresh one). The campaign engine
+// passes one matcher per worker so its scratch buffers and pruning
+// bars amortize across the whole run; results are bit-identical at
+// every choice of matcher, including the brute-force path selected by
+// DisablePruning.
+func (id *Identifier) IdentifyFromMapsMatcher(prev, cur *obstruction.Map, vp geo.VantagePoint, slotStart time.Time, snap []constellation.SatState, matcher *dtw.Matcher) (Identification, error) {
 	diff := obstruction.XOR(prev, cur)
 	track := diff.Track()
 	if len(track) < 2 {
@@ -138,11 +203,11 @@ func (id *Identifier) IdentifyFromMapsSnapshot(prev, cur *obstruction.Map, vp ge
 	if snap == nil {
 		snap = id.cons.Snapshot(slotStart)
 	}
-	cands := id.CandidateTracksFromSnapshot(snap, vp, slotStart)
+	cands, dropped := id.CandidateTracksFromSnapshot(snap, vp, slotStart)
 	if len(cands) == 0 {
-		return Identification{}, fmt.Errorf("core: slot %v at %s: no candidate satellites in view", slotStart, vp.Name)
+		return Identification{}, fmt.Errorf("core: slot %v at %s: no candidate satellites in view (%d dropped by propagation errors)", slotStart, vp.Name, dropped)
 	}
-	out := Identification{Terminal: vp.Name, SlotStart: slotStart, TrackLen: len(track)}
+	out := Identification{Terminal: vp.Name, SlotStart: slotStart, TrackLen: len(track), Dropped: dropped}
 	if id.UseNaiveMatcher {
 		m, err := dtw.NaiveNearestEndpoint(observed, cands)
 		if err != nil {
@@ -152,7 +217,17 @@ func (id *Identifier) IdentifyFromMapsSnapshot(prev, cur *obstruction.Map, vp ge
 		out.Distance = m.Distance
 		return out, nil
 	}
-	best, margin, err := dtw.Identify(observed, cands)
+	var best dtw.Match
+	var margin float64
+	var err error
+	if id.DisablePruning {
+		best, margin, err = dtw.Identify(observed, cands)
+	} else {
+		if matcher == nil {
+			matcher = &dtw.Matcher{}
+		}
+		best, margin, err = matcher.Identify(observed, cands)
+	}
 	if err != nil {
 		return Identification{}, fmt.Errorf("core: dtw match at %s: %w", vp.Name, err)
 	}
@@ -170,21 +245,7 @@ func (id *Identifier) ServingTrack(satID int, vp geo.VantagePoint, slotStart tim
 	if sat == nil {
 		return nil, fmt.Errorf("core: unknown satellite %d", satID)
 	}
-	var pts []obstruction.PolarPoint
-	for dt := time.Duration(0); dt <= scheduler.Period; dt += id.SampleStep {
-		t := slotStart.Add(dt)
-		st, err := sat.Propagator.PropagateAt(t)
-		if err != nil {
-			return nil, fmt.Errorf("core: propagate %d: %w", satID, err)
-		}
-		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
-		la := astro.Observe(vp.Location, posECEF)
-		pts = append(pts, obstruction.PolarPoint{
-			ElevationDeg: la.ElevationDeg,
-			AzimuthDeg:   la.AzimuthDeg,
-		})
-	}
-	return pts, nil
+	return id.samplePolarTrack(sat, vp.Location, slotStart)
 }
 
 // PaintServingTrack renders the serving satellite's sky-track for a

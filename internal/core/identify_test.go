@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/obstruction"
+	"repro/internal/scheduler"
+	"repro/internal/sgp4"
+)
+
+// TestCampaignMatcherBruteIdentical is the end-to-end exactness
+// regression for the pruned matcher: two same-seed campaigns — one
+// through the dtw.Matcher cascade, one through brute-force
+// dtw.Identify — must produce byte-identical records and counters.
+// Combined with TestParallelCampaignMatchesSerial this pins the whole
+// matrix: {serial, parallel} × {pruned, brute} all agree.
+func TestCampaignMatcherBruteIdentical(t *testing.T) {
+	setupFixture(t)
+	brute, err := NewIdentifier(fixture.cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute.DisablePruning = true
+
+	run := func(ident *Identifier, workers int) *CampaignResult {
+		t.Helper()
+		res, err := RunCampaign(context.Background(), CampaignConfig{
+			Scheduler:  mustScheduler(t, fixture.cons, 123),
+			Identifier: ident,
+			Start:      fixture.cons.Epoch.Add(4 * time.Hour),
+			Slots:      24,
+			ResetEvery: 10,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(brute, 1)
+	for _, workers := range []int{1, 4} {
+		got := run(fixture.ident, workers)
+		if got.Attempted != want.Attempted || got.Correct != want.Correct || got.Failed != want.Failed {
+			t.Errorf("workers=%d: pruned counters (%d,%d,%d) != brute (%d,%d,%d)",
+				workers, got.Attempted, got.Correct, got.Failed,
+				want.Attempted, want.Correct, want.Failed)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("workers=%d: %d records != brute %d", workers, len(got.Records), len(want.Records))
+		}
+		for i := range want.Records {
+			if !reflect.DeepEqual(got.Records[i], want.Records[i]) {
+				t.Fatalf("workers=%d: record %d differs:\npruned: %+v\nbrute:  %+v",
+					workers, i, got.Records[i], want.Records[i])
+			}
+		}
+	}
+	if want.Attempted == 0 {
+		t.Fatal("regression campaign attempted no identifications")
+	}
+}
+
+// TestCandidateTracksSnapshotReuse: feeding a precomputed snapshot
+// must be indistinguishable from letting the identifier propagate the
+// constellation itself, for both the Cartesian and the polar track
+// paths.
+func TestCandidateTracksSnapshotReuse(t *testing.T) {
+	setupFixture(t)
+	vp := fixture.sched.Terminals()[0].VantagePoint
+	start := scheduler.EpochStart(fixture.cons.Epoch.Add(3 * time.Hour))
+	snap := fixture.cons.Snapshot(start)
+
+	plain, droppedPlain := fixture.ident.CandidateTracks(vp, start)
+	fromSnap, droppedSnap := fixture.ident.CandidateTracksFromSnapshot(snap, vp, start)
+	if droppedPlain != droppedSnap {
+		t.Errorf("dropped: plain %d != snapshot %d", droppedPlain, droppedSnap)
+	}
+	if len(plain) == 0 {
+		t.Fatal("no candidates in view at the probe slot")
+	}
+	if !reflect.DeepEqual(plain, fromSnap) {
+		t.Error("CandidateTracksFromSnapshot differs from CandidateTracks")
+	}
+
+	polarPlain := fixture.ident.CandidatePolarTracks(vp, start)
+	polarSnap := fixture.ident.CandidatePolarTracksFromSnapshot(snap, vp, start)
+	if len(polarPlain) == 0 {
+		t.Fatal("no polar candidate tracks at the probe slot")
+	}
+	if !reflect.DeepEqual(polarPlain, polarSnap) {
+		t.Error("CandidatePolarTracksFromSnapshot differs from CandidatePolarTracks")
+	}
+}
+
+// failingEphemeris propagates successfully until the fuse blows, then
+// returns an error on every call — the shape of a satellite whose
+// elements go stale mid-campaign.
+type failingEphemeris struct {
+	inner sgp4.Ephemeris
+	fuse  *int // remaining successful calls; shared across copies
+}
+
+func (f failingEphemeris) Epoch() time.Time { return f.inner.Epoch() }
+
+func (f failingEphemeris) Propagate(tsince float64) (sgp4.State, error) {
+	if *f.fuse <= 0 {
+		return sgp4.State{}, errors.New("injected propagation failure")
+	}
+	*f.fuse--
+	return f.inner.Propagate(tsince)
+}
+
+func (f failingEphemeris) PropagateAt(t time.Time) (sgp4.State, error) {
+	if *f.fuse <= 0 {
+		return sgp4.State{}, errors.New("injected propagation failure")
+	}
+	*f.fuse--
+	return f.inner.PropagateAt(t)
+}
+
+// TestDroppedCandidatesSurfaced: a propagation failure mid-slot must
+// be reported through the dropped count, not silently delete the
+// candidate — the satellite was in view, and it may be the true
+// serving one.
+func TestDroppedCandidatesSurfaced(t *testing.T) {
+	cons, err := constellation.New(constellation.Config{
+		Shells: []constellation.Shell{
+			{Name: "s1", AltitudeKm: 550, InclinationDeg: 53, Planes: 24, SatsPerPlane: 22, PhasingF: 17},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident, err := NewIdentifier(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := geo.StudyVantagePoints()[0]
+
+	// Find a slot with at least one candidate in view.
+	var slotStart time.Time
+	var snap []constellation.SatState
+	var inView []constellation.Visible
+	for slot := 0; slot < 240; slot++ {
+		slotStart = scheduler.EpochStart(cons.Epoch.Add(time.Hour)).Add(time.Duration(slot) * scheduler.Period)
+		snap = cons.Snapshot(slotStart)
+		inView = constellation.ObserveFrom(vp.Location, snap, ident.MinElevationDeg)
+		if len(inView) > 0 {
+			break
+		}
+	}
+	if len(inView) == 0 {
+		t.Skip("no slot with candidates in view")
+	}
+	baseline, dropped := ident.CandidateTracksFromSnapshot(snap, vp, slotStart)
+	if dropped != 0 {
+		t.Fatalf("healthy constellation dropped %d candidates", dropped)
+	}
+
+	// Blow the first in-view satellite's propagator: the snapshot is
+	// already computed, so the failure lands inside sampleTrack.
+	sat := inView[0].Sat
+	orig := sat.Propagator
+	fuse := 0
+	sat.Propagator = failingEphemeris{inner: orig, fuse: &fuse}
+	defer func() { sat.Propagator = orig }()
+
+	cands, dropped := ident.CandidateTracksFromSnapshot(snap, vp, slotStart)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(cands) != len(baseline)-1 {
+		t.Errorf("%d candidates after failure, want %d", len(cands), len(baseline)-1)
+	}
+	for _, c := range cands {
+		if c.ID == sat.ID {
+			t.Errorf("failed satellite %d still in candidate set", sat.ID)
+		}
+	}
+
+	// With every in-view propagator failing there are no candidates at
+	// all; the error must say how many were dropped rather than claim
+	// nothing was in view.
+	for _, v := range inView {
+		v := v
+		f := 0
+		if _, isFailing := v.Sat.Propagator.(failingEphemeris); !isFailing {
+			keep := v.Sat.Propagator
+			v.Sat.Propagator = failingEphemeris{inner: keep, fuse: &f}
+			defer func() { v.Sat.Propagator = keep }()
+		}
+	}
+	cands, dropped = ident.CandidateTracksFromSnapshot(snap, vp, slotStart)
+	if len(cands) != 0 || dropped != len(inView) {
+		t.Errorf("all-failing: %d candidates, dropped %d, want 0 and %d", len(cands), dropped, len(inView))
+	}
+
+	// The full identify path must report the drops, not claim nothing
+	// was in view: paint a synthetic trajectory so the XOR stage
+	// passes and the candidate stage is what fails.
+	prev, cur := obstruction.New(), obstruction.New()
+	var fake []obstruction.PolarPoint
+	for i := 0; i <= 15; i++ {
+		fake = append(fake, obstruction.PolarPoint{
+			ElevationDeg: 35 + 2*float64(i),
+			AzimuthDeg:   40 + 3*float64(i),
+		})
+	}
+	cur.PaintTrack(fake)
+	_, err = ident.IdentifyFromMapsSnapshot(prev, cur, vp, slotStart, snap)
+	if err == nil {
+		t.Fatal("identification succeeded with every candidate dropped")
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("error does not mention dropped candidates: %v", err)
+	}
+}

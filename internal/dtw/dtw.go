@@ -111,7 +111,12 @@ type Match struct {
 }
 
 // Rank scores every candidate against the observed track and returns
-// them sorted by ascending distance. Empty candidate tracks rank last.
+// them sorted by ascending distance. Empty candidate tracks score +Inf
+// and rank last; when every candidate track is empty there is nothing
+// to rank and Rank returns an error (a +Inf "winner" is not a match).
+// The sort is stable, so equal-distance candidates keep their input
+// order — this makes the ranking deterministic and is the tie rule the
+// pruned Matcher reproduces.
 func Rank(observed []Point, cands []Candidate) ([]Match, error) {
 	if len(observed) == 0 {
 		return nil, fmt.Errorf("dtw: empty observed track")
@@ -120,25 +125,38 @@ func Rank(observed []Point, cands []Candidate) ([]Match, error) {
 		return nil, fmt.Errorf("dtw: no candidates")
 	}
 	out := make([]Match, len(cands))
+	allEmpty := true
 	for i, c := range cands {
 		out[i] = Match{ID: c.ID, Distance: ReverseInsensitiveDistance(observed, c.Track)}
+		if !math.IsInf(out[i].Distance, 1) {
+			allEmpty = false
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	if allEmpty {
+		return nil, fmt.Errorf("dtw: all candidate tracks empty")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
 	return out, nil
 }
 
-// Identify returns the best match plus the margin to the runner-up
-// (0 when there is a single candidate). A large margin indicates a
-// confident identification; the paper's visual validation corresponds
-// to checking that margins are decisive.
+// Identify returns the best match plus the margin to the runner-up.
+// A large margin indicates a confident identification; the paper's
+// visual validation corresponds to checking that margins are decisive.
+// Margin 0 means there was a single candidate, so confidence is
+// meaningless; margin +Inf means there were other candidates but none
+// of them was rankable (empty tracks), so the winner was unopposed.
 func Identify(observed []Point, cands []Candidate) (best Match, margin float64, err error) {
 	ranked, err := Rank(observed, cands)
 	if err != nil {
 		return Match{}, 0, err
 	}
 	best = ranked[0]
-	if len(ranked) > 1 && !math.IsInf(ranked[1].Distance, 1) {
-		margin = ranked[1].Distance - best.Distance
+	if len(ranked) > 1 {
+		if math.IsInf(ranked[1].Distance, 1) {
+			margin = math.Inf(1)
+		} else {
+			margin = ranked[1].Distance - best.Distance
+		}
 	}
 	return best, margin, nil
 }

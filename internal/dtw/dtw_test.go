@@ -203,6 +203,72 @@ func TestNaiveWorseOnCrossingTracks(t *testing.T) {
 	_ = naive // either answer is acceptable; the point is DTW is decisive.
 }
 
+// TestDistanceInvariantsTable pins the degenerate-shape contracts of
+// Distance and ReverseInsensitiveDistance: empty tracks are +Inf,
+// one-point tracks reduce to summed point distances, and reversing a
+// one-point or palindromic track changes nothing.
+func TestDistanceInvariantsTable(t *testing.T) {
+	p := func(x, y float64) Point { return Point{x, y} }
+	cases := []struct {
+		name string
+		a, b []Point
+		want float64 // expected Distance; NaN means "+Inf expected"
+	}{
+		{"both empty", nil, nil, math.NaN()},
+		{"empty a", nil, []Point{p(1, 1)}, math.NaN()},
+		{"empty b", []Point{p(1, 1)}, nil, math.NaN()},
+		{"single equal", []Point{p(2, 3)}, []Point{p(2, 3)}, 0},
+		{"single apart", []Point{p(0, 0)}, []Point{p(3, 4)}, 5},
+		// One point vs a track: every track point must match the
+		// single point, so the distance is the sum of point distances.
+		{"point vs track", []Point{p(0, 0)}, []Point{p(3, 4), p(0, 5), p(6, 8)}, 5 + 5 + 10},
+		{"identical tracks", line(0, 0, 9, 9, 7), line(0, 0, 9, 9, 7), 0},
+	}
+	for _, c := range cases {
+		got := Distance(c.a, c.b)
+		if math.IsNaN(c.want) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: Distance = %v, want +Inf", c.name, got)
+			}
+			if !math.IsInf(ReverseInsensitiveDistance(c.a, c.b), 1) {
+				t.Errorf("%s: ReverseInsensitiveDistance not +Inf", c.name)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Distance = %v, want %v", c.name, got, c.want)
+		}
+		// Reversing either input of a <=1-point pair is a no-op, and
+		// ReverseInsensitiveDistance can never exceed the normalized
+		// forward distance.
+		rid := ReverseInsensitiveDistance(c.a, c.b)
+		if nd := NormalizedDistance(c.a, c.b); rid > nd {
+			t.Errorf("%s: reverse-insensitive %v > forward %v", c.name, rid, nd)
+		}
+	}
+}
+
+// TestReverseInsensitiveSymmetry: reversing the candidate must never
+// change the result (bitwise), because the function minimizes over
+// both directions.
+func TestReverseInsensitiveSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randWalkTrack(rng, 1+rng.Intn(12))
+		b := randWalkTrack(rng, 1+rng.Intn(12))
+		rb := make([]Point, len(b))
+		for i, p := range b {
+			rb[len(b)-1-i] = p
+		}
+		d1 := ReverseInsensitiveDistance(a, b)
+		d2 := ReverseInsensitiveDistance(a, rb)
+		return math.Float64bits(d1) == math.Float64bits(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkDistance50x50(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := make([]Point, 50)

@@ -1,0 +1,366 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatcherStats counts what the pruning cascade did across a matcher's
+// lifetime. The counters are diagnostic only; they never influence
+// results.
+type MatcherStats struct {
+	// Candidates is the number of candidate tracks scored.
+	Candidates int
+	// EmptyTracks counts candidates with no points (distance +Inf by
+	// definition, no DTW needed).
+	EmptyTracks int
+	// KimPruned counts candidates dropped by the O(1) endpoint bound
+	// alone.
+	KimPruned int
+	// EnvelopePruned counts candidates whose drop needed the O(n+m)
+	// envelope bound.
+	EnvelopePruned int
+	// PassesRun counts DTW passes started (up to two per candidate:
+	// forward and reversed).
+	PassesRun int
+	// PassesAbandoned counts started passes cut short by the
+	// early-abandoning row check.
+	PassesAbandoned int
+	// PassesSkipped counts directional passes skipped because that
+	// direction's endpoint bound alone cleared the bar.
+	PassesSkipped int
+}
+
+// Matcher is a reusable satellite-identification engine that produces
+// results bit-identical to the brute-force Identify but prunes most of
+// the work. It keeps a best-so-far threshold (the runner-up's
+// normalized distance, since both winner and margin must stay exact)
+// and runs a lower-bound cascade:
+//
+//  1. LB_Kim: every warping path matches the two start points and the
+//     two end points, so their costs are an O(1) lower bound on the
+//     raw DTW distance. Computed for both the forward and the
+//     reversed alignment.
+//  2. Envelope bound (LB_Keogh degenerate form): unconstrained DTW
+//     lets any index pair align, so the per-index Keogh envelope
+//     collapses to the whole track's bounding box. Every point of one
+//     track is matched against some point of the other on a distinct
+//     path cell, so the summed point-to-box distances lower-bound the
+//     raw DTW cost in O(n+m). The box is order-invariant, so one
+//     envelope — precomputed once per query — serves both the forward
+//     and the reversed comparison.
+//  3. Bound-ordered scan: candidates are visited in ascending
+//     lower-bound order, so the winner and runner-up are found early,
+//     the bar tightens immediately, and — the bounds being sorted —
+//     the first candidate whose bound exceeds the bar proves every
+//     remaining candidate can be dropped in one step.
+//  4. Early-abandoning DTW: every warping path crosses every row of
+//     the cost matrix, so once a completed row's minimum (normalized
+//     by n+m) exceeds the bar, the final distance cannot come back
+//     under it and the pass stops. The reversed pass additionally
+//     tightens its bar to the forward pass's result, because only the
+//     smaller of the two matters; the reversal itself is an O(m) copy
+//     into a scratch buffer, never a fresh allocation.
+//
+// A candidate is pruned only when a proven lower bound strictly
+// exceeds the current runner-up distance, and exact-distance ties are
+// broken by input position exactly like the stable ranking's tie rule,
+// so pruning and reordering can never change which candidate wins, its
+// distance, or the margin (see TestMatcherExactness). Scratch buffers
+// are reused across candidates and calls; the zero value is ready to
+// use. A Matcher is not safe for concurrent use — the campaign engine
+// holds one per worker.
+type Matcher struct {
+	// Band, when > 0, restricts the DTW recurrence to a Sakoe–Chiba
+	// band of radius max(Band, |n−m|) around the scaled diagonal (the
+	// widening keeps the corner-to-corner path feasible for unequal
+	// track lengths). A banded distance is computed over fewer warping
+	// paths, so it is >= the unconstrained distance: exact whenever
+	// the optimal path stays inside the band — guaranteed for
+	// Band >= max(n, m) — and a documented approximation otherwise.
+	// Band == 0 (the default, and what the identification pipeline
+	// uses) evaluates the full matrix and is always exact.
+	Band int
+	// Stats accumulates pruning counters across calls.
+	Stats MatcherStats
+	// Scratch rows for the DTW recurrence, grown on demand.
+	prev, cur []float64
+	// rev is the scratch buffer for reversed candidate tracks.
+	rev []Point
+	// order is the scratch slice of per-candidate bounds.
+	order []candBound
+}
+
+// candBound carries one candidate's precomputed lower bounds through
+// the bound-ordered scan. All values are normalized by (n+m) and
+// pre-scaled by lbSafety so they compare directly against the bar.
+type candBound struct {
+	idx        int     // position in the caller's candidate slice
+	lb         float64 // overall bound: max(envelope, min(kimF, kimR))
+	kimF, kimR float64 // per-direction endpoint bounds
+	kimOnly    bool    // the endpoint bound alone equals lb
+}
+
+// lbSafety shaves a relative hair off every lower bound before it is
+// compared against the bar. The bounds dominate the DTW distance by
+// construction in real arithmetic, but both sides are computed in
+// floats with different operation orders; the margin makes an
+// ulp-level rounding inversion harmless while costing no measurable
+// pruning power (the useful slack of a bound is many orders of
+// magnitude larger).
+const lbSafety = 1 - 1e-12
+
+// Identify scores every candidate against the observed track and
+// returns the best match plus the margin to the runner-up, exactly as
+// the package-level Identify does (same winner, same distance bits,
+// same margin bits, same errors) but with the pruning cascade applied.
+func (mt *Matcher) Identify(observed []Point, cands []Candidate) (Match, float64, error) {
+	if len(observed) == 0 {
+		return Match{}, 0, fmt.Errorf("dtw: empty observed track")
+	}
+	if len(cands) == 0 {
+		return Match{}, 0, fmt.Errorf("dtw: no candidates")
+	}
+	n := len(observed)
+	qlo, qhi := boundingBox(observed) // query envelope, shared by all candidates and both directions
+
+	// Pass 1: O(points) lower bounds for every candidate, kept sorted
+	// ascending (insertion sort: the slice is small, the scratch is
+	// reused, and stability keeps the scan deterministic).
+	mt.order = mt.order[:0]
+	for i, c := range cands {
+		mt.Stats.Candidates++
+		m := len(c.Track)
+		if m == 0 {
+			mt.Stats.EmptyTracks++
+			continue // distance +Inf: never displaces best or runner-up
+		}
+		nm := float64(n + m)
+		kimF := lbKim(observed, c.Track, false) * lbSafety / nm
+		kimR := lbKim(observed, c.Track, true) * lbSafety / nm
+		kim := math.Min(kimF, kimR)
+		clo, chi := boundingBox(c.Track)
+		env := math.Max(envelopeSum(c.Track, qlo, qhi), envelopeSum(observed, clo, chi)) * lbSafety / nm
+		cb := candBound{idx: i, lb: math.Max(env, kim), kimF: kimF, kimR: kimR, kimOnly: kim >= env}
+		j := len(mt.order)
+		mt.order = append(mt.order, cb)
+		for j > 0 && mt.order[j-1].lb > cb.lb {
+			mt.order[j] = mt.order[j-1]
+			j--
+		}
+		mt.order[j] = cb
+	}
+
+	// Pass 2: bound-ordered scan with exact top-2 tracking.
+	best := Match{Distance: math.Inf(1)}
+	bestIdx := -1
+	second := math.Inf(1) // exact runner-up distance: the pruning bar
+	for oi, cb := range mt.order {
+		if cb.lb > second {
+			// Bounds are sorted and the bar only tightens: every
+			// remaining candidate is proven worse than the runner-up.
+			for _, rest := range mt.order[oi:] {
+				if rest.kimOnly {
+					mt.Stats.KimPruned++
+				} else {
+					mt.Stats.EnvelopePruned++
+				}
+			}
+			break
+		}
+		c := cands[cb.idx]
+		m := len(c.Track)
+		nm := float64(n + m)
+
+		d := math.Inf(1)
+		if cb.kimF <= second {
+			if raw, ok := mt.abandoningDistance(observed, c.Track, second); ok {
+				d = raw / nm
+			}
+		} else {
+			mt.Stats.PassesSkipped++
+		}
+		// Only the smaller of the two directions matters, so the
+		// reversed pass's bar tightens to the forward result.
+		bar := math.Min(second, d)
+		if cb.kimR <= bar {
+			if raw, ok := mt.abandoningDistance(observed, mt.reversed(c.Track), bar); ok {
+				if rd := raw / nm; rd < d {
+					d = rd
+				}
+			}
+		} else {
+			mt.Stats.PassesSkipped++
+		}
+
+		// Exact ties go to the earlier input position — the stable
+		// ranking's tie rule — so the bound-ordered scan cannot change
+		// the winner.
+		if d < best.Distance || (d == best.Distance && cb.idx < bestIdx) {
+			second = best.Distance
+			best = Match{ID: c.ID, Distance: d}
+			bestIdx = cb.idx
+		} else if d < second {
+			second = d
+		}
+	}
+	if math.IsInf(best.Distance, 1) {
+		return Match{}, 0, fmt.Errorf("dtw: all candidate tracks empty")
+	}
+	margin := 0.0
+	if len(cands) > 1 {
+		if math.IsInf(second, 1) {
+			margin = math.Inf(1)
+		} else {
+			margin = second - best.Distance
+		}
+	}
+	return best, margin, nil
+}
+
+// reversed copies track back to front into the matcher's scratch
+// buffer (no allocation after the first growth).
+func (mt *Matcher) reversed(track []Point) []Point {
+	m := len(track)
+	if cap(mt.rev) < m {
+		mt.rev = make([]Point, m)
+	}
+	rb := mt.rev[:m]
+	for i, p := range track {
+		rb[m-1-i] = p
+	}
+	return rb
+}
+
+// lbKim is the O(1) endpoint lower bound on the raw DTW distance:
+// every warping path starts by matching the first points and ends by
+// matching the last points, so those two cell costs are unavoidable.
+// When both tracks are single points the start and end cells coincide
+// and are counted once. rev aligns the candidate back to front.
+func lbKim(a, b []Point, rev bool) float64 {
+	n, m := len(a), len(b)
+	b0, bLast := b[0], b[m-1]
+	if rev {
+		b0, bLast = bLast, b0
+	}
+	if n == 1 && m == 1 {
+		return dist(a[0], b0)
+	}
+	return dist(a[0], b0) + dist(a[n-1], bLast)
+}
+
+// boundingBox returns the axis-aligned bounding box of a track — the
+// degenerate Keogh envelope of unconstrained DTW, where the warping
+// window spans the whole sequence.
+func boundingBox(pts []Point) (lo, hi Point) {
+	lo, hi = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < lo.X {
+			lo.X = p.X
+		} else if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		} else if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+	}
+	return lo, hi
+}
+
+// envelopeSum lower-bounds the raw DTW distance: a warping path covers
+// every index of pts, each on a distinct cell, and no match can cost
+// less than the distance from the point to the other track's bounding
+// box. Order-invariant, so it holds for the reversed alignment too.
+func envelopeSum(pts []Point, lo, hi Point) float64 {
+	s := 0.0
+	for _, p := range pts {
+		var dx, dy float64
+		if p.X < lo.X {
+			dx = lo.X - p.X
+		} else if p.X > hi.X {
+			dx = p.X - hi.X
+		}
+		if p.Y < lo.Y {
+			dy = lo.Y - p.Y
+		} else if p.Y > hi.Y {
+			dy = p.Y - hi.Y
+		}
+		s += math.Sqrt(dx*dx + dy*dy)
+	}
+	return s
+}
+
+// abandoningDistance runs the DTW recurrence of Distance over a and b,
+// reusing the matcher's scratch rows. It abandons as soon as a
+// completed row's minimum, normalized by len(a)+len(b), exceeds bar:
+// every warping path crosses every row and step costs are
+// non-negative, so the final distance cannot drop back under the bar
+// (this holds in float arithmetic too — the accumulation is monotone).
+// The returned bool is false when the pass was abandoned.
+//
+// With Band == 0 the inner loop performs operation-for-operation the
+// same arithmetic as Distance, so a completed pass is bit-identical to
+// the brute force. With Band > 0 the recurrence is restricted to a
+// Sakoe–Chiba band (see the Band field for its exactness contract).
+func (mt *Matcher) abandoningDistance(a, b []Point, bar float64) (raw float64, ok bool) {
+	n, m := len(a), len(b)
+	if cap(mt.prev) < m+1 {
+		mt.prev = make([]float64, m+1)
+		mt.cur = make([]float64, m+1)
+	}
+	prev, cur := mt.prev[:m+1], mt.cur[:m+1]
+	inf := math.Inf(1)
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = inf
+	}
+	radius := 0
+	if mt.Band > 0 {
+		radius = mt.Band
+		if d := n - m; d > radius {
+			radius = d
+		} else if -d > radius {
+			radius = -d
+		}
+	}
+	nm := float64(n + m)
+	mt.Stats.PassesRun++
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		if radius > 0 {
+			center := 1
+			if n > 1 {
+				center = 1 + (i-1)*(m-1)/(n-1)
+			}
+			if c := center - radius; c > lo {
+				lo = c
+			}
+			if c := center + radius; c < hi {
+				hi = c
+			}
+			cur[lo-1] = inf // the in-band recurrence must not see a stale cell
+		}
+		cur[0] = inf
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			d := dist(a[i-1], b[j-1])
+			v := d + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		for j := hi + 1; j <= m; j++ {
+			cur[j] = inf // out-of-band cells must not leak into the next row
+		}
+		if rowMin/nm > bar {
+			mt.Stats.PassesAbandoned++
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	mt.prev, mt.cur = prev, cur
+	return prev[m], true
+}

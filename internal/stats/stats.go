@@ -236,17 +236,25 @@ func (e *ECDF) Points(n int) [][2]float64 {
 }
 
 // Histogram bins values into equal-width bins over [lo, hi]; values
-// outside the range clamp into the edge bins.
-func Histogram(xs []float64, lo, hi float64, bins int) ([]int, error) {
+// outside the range clamp into the edge bins. NaN values carry no
+// ordering information and float→int conversion of NaN is
+// implementation-defined in Go (bin 0 on amd64, unspecified
+// elsewhere), so they are never binned; the second return value
+// reports how many were skipped.
+func Histogram(xs []float64, lo, hi float64, bins int) (counts []int, skipped int, err error) {
 	if bins <= 0 {
-		return nil, fmt.Errorf("stats: non-positive bin count %d", bins)
+		return nil, 0, fmt.Errorf("stats: non-positive bin count %d", bins)
 	}
 	if hi <= lo {
-		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+		return nil, 0, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
 	}
-	out := make([]int, bins)
+	counts = make([]int, bins)
 	w := (hi - lo) / float64(bins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			skipped++
+			continue
+		}
 		i := int((x - lo) / w)
 		if i < 0 {
 			i = 0
@@ -254,9 +262,9 @@ func Histogram(xs []float64, lo, hi float64, bins int) ([]int, error) {
 		if i >= bins {
 			i = bins - 1
 		}
-		out[i]++
+		counts[i]++
 	}
-	return out, nil
+	return counts, skipped, nil
 }
 
 // Proportion returns the fraction of xs for which pred holds. NaN for

@@ -252,9 +252,12 @@ func TestECDFMonotone(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 9, 10, -3}, 0, 10, 5)
+	h, skipped, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 9, 10, -3}, 0, 10, 5)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d for NaN-free input", skipped)
 	}
 	// bins: [0,2) [2,4) [4,6) [6,8) [8,10]; -3 clamps low, 10 clamps high.
 	want := []int{3, 2, 2, 0, 2}
@@ -263,11 +266,43 @@ func TestHistogram(t *testing.T) {
 			t.Errorf("bin %d = %d, want %d (h=%v)", i, h[i], want[i], h)
 		}
 	}
-	if _, err := Histogram(nil, 0, 10, 0); err == nil {
+	if _, _, err := Histogram(nil, 0, 10, 0); err == nil {
 		t.Error("zero bins accepted")
 	}
-	if _, err := Histogram(nil, 5, 5, 3); err == nil {
+	if _, _, err := Histogram(nil, 5, 5, 3); err == nil {
 		t.Error("empty range accepted")
+	}
+}
+
+// TestHistogramNaN pins the NaN contract: int(NaN) is
+// implementation-defined (it lands in bin 0 on amd64), so NaN samples
+// must be skipped and counted, never binned.
+func TestHistogramNaN(t *testing.T) {
+	nan := math.NaN()
+	h, skipped, err := Histogram([]float64{nan, 1, nan, 9, nan}, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("binned %d values, want 2 (h=%v)", total, h)
+	}
+	if h[0] != 1 || h[1] != 1 {
+		t.Errorf("h = %v, want [1 1]", h)
+	}
+	// All-NaN input: every sample skipped, no error, empty bins.
+	h, skipped, err = Histogram([]float64{nan, nan}, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 || h[0]+h[1]+h[2] != 0 {
+		t.Errorf("all-NaN: skipped=%d h=%v", skipped, h)
 	}
 }
 
