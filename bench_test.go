@@ -271,15 +271,17 @@ func BenchmarkFig7SunlitAOE(b *testing.B) {
 	b.ReportMetric(rate*100, "sunlit%")
 }
 
-// BenchmarkFig8TopK regenerates Figure 8: train the random forest with
-// the paper's protocol and report holdout top-5 accuracy (paper: 65%
-// vs 22% baseline).
-func BenchmarkFig8TopK(b *testing.B) {
+// benchFig8 regenerates Figure 8 — train the random forest with the
+// paper's protocol, report holdout top-5 accuracy (paper: 65% vs 22%
+// baseline) — with the model-training pool pinned to a given size.
+func benchFig8(b *testing.B, workers int) {
 	env, _, data := benchSetup(b)
 	b.ReportAllocs()
 	var model5, base5 float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.TrainModel(data, experiments.QuickModelConfig(env.Seed+1))
+		cfg := experiments.QuickModelConfig(env.Seed + 1)
+		cfg.Workers = workers
+		res, err := core.TrainModel(data, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,6 +291,14 @@ func BenchmarkFig8TopK(b *testing.B) {
 	b.ReportMetric(model5*100, "model_top5%")
 	b.ReportMetric(base5*100, "base_top5%")
 }
+
+// BenchmarkFig8TopK trains on the full worker pool (Workers 0 =
+// GOMAXPROCS); the forest is bit-identical to the serial run's.
+func BenchmarkFig8TopK(b *testing.B) { benchFig8(b, 0) }
+
+// BenchmarkFig8TopKSerial is the one-worker baseline; compare ns/op
+// against BenchmarkFig8TopK for the training parallelism gain.
+func BenchmarkFig8TopKSerial(b *testing.B) { benchFig8(b, 1) }
 
 // BenchmarkAblationMatcher swaps DTW for the nearest-endpoint matcher
 // and reports its identification accuracy for comparison with

@@ -13,7 +13,7 @@
 //	-scale   small|medium|full  constellation density (default medium)
 //	-seed    int                deterministic seed (default 7)
 //	-slots   int                campaign length in 15s slots (default 500)
-//	-workers int                campaign worker pool (default 0 = GOMAXPROCS)
+//	-workers int                campaign + model-training worker pool (default 0 = GOMAXPROCS)
 //	-dir     string             where fig3 writes PNGs (default ".")
 //	-full-grid                  fig8: run the full hyperparameter grid
 package main
@@ -42,7 +42,7 @@ func main() {
 		scale    = flag.String("scale", "medium", "constellation scale: small|medium|full")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		slots    = flag.Int("slots", 500, "campaign length in 15-second slots")
-		workers  = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		workers  = flag.Int("workers", 0, "worker pool size for campaigns and fig8 model training (0 = GOMAXPROCS, 1 = serial)")
 		dir      = flag.String("dir", ".", "output directory for fig3 PNGs")
 		fullGrid = flag.Bool("full-grid", false, "fig8: search the full hyperparameter grid")
 		saveObs  = flag.String("save-obs", "", "write campaign observations as JSONL to this file")

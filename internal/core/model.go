@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -72,6 +73,10 @@ type ModelConfig struct {
 	MaxK int
 	// Seed drives splits and training.
 	Seed int64
+	// Workers bounds the training worker pool shared by the grid
+	// search, cross-validation, and the final forest fit (0 =
+	// GOMAXPROCS, 1 = serial). Results are bit-identical at any value.
+	Workers int
 }
 
 func (c *ModelConfig) applyDefaults() {
@@ -123,6 +128,14 @@ type ModelResult struct {
 // k-fold CV on the training side, final fit, holdout evaluation of
 // model and baseline, and gini importance extraction.
 func TrainModel(d *ml.Dataset, cfg ModelConfig) (*ModelResult, error) {
+	return TrainModelCtx(context.Background(), d, cfg)
+}
+
+// TrainModelCtx is TrainModel on a ctx-cancellable bounded worker pool
+// (cfg.Workers): the grid search fans out over (config, fold) pairs
+// and the final fit trains trees concurrently, with the result
+// bit-identical to the serial protocol at any worker count.
+func TrainModelCtx(ctx context.Context, d *ml.Dataset, cfg ModelConfig) (*ModelResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,15 +153,16 @@ func TrainModel(d *ml.Dataset, cfg ModelConfig) (*ModelResult, error) {
 	grid := make([]ml.ForestConfig, len(cfg.Grid))
 	for i, g := range cfg.Grid {
 		g.Seed = cfg.Seed + int64(i) + 1
+		g.Workers = cfg.Workers
 		grid[i] = g
 	}
-	points, err := ml.GridSearch(train, grid, cfg.Folds, cfg.GridTopK, cfg.Seed)
+	points, err := ml.GridSearchCtx(ctx, train, grid, cfg.Folds, cfg.GridTopK, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: grid search: %w", err)
 	}
 	best := points[0]
 
-	forest, err := ml.FitForest(train, best.Config)
+	forest, err := ml.FitForestCtx(ctx, train, best.Config)
 	if err != nil {
 		return nil, fmt.Errorf("core: final fit: %w", err)
 	}

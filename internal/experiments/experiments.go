@@ -419,7 +419,8 @@ func (e *Env) Fig7(obs []core.Observation) (*core.SunlitAnalysis, error) {
 	return core.AnalyzeSunlit(obs, 27)
 }
 
-// Fig8 trains and evaluates the §6 model.
+// Fig8 trains and evaluates the §6 model on the environment's worker
+// pool (Env.Workers; results are bit-identical at any pool size).
 func (e *Env) Fig8(obs []core.Observation, cfg core.ModelConfig) (*core.ModelResult, error) {
 	d, err := core.BuildDataset(obs)
 	if err != nil {
@@ -428,7 +429,10 @@ func (e *Env) Fig8(obs []core.Observation, cfg core.ModelConfig) (*core.ModelRes
 	if cfg.Seed == 0 {
 		cfg.Seed = e.Seed + 1
 	}
-	return core.TrainModel(d, cfg)
+	if cfg.Workers == 0 {
+		cfg.Workers = e.Workers
+	}
+	return core.TrainModelCtx(e.ctx(), d, cfg)
 }
 
 // QuickModelConfig is a reduced grid for tests and benches.

@@ -175,7 +175,9 @@ func (e *Env) LoadSensitivity(slots int) (*LoadSensitivityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.TrainModel(d, QuickModelConfig(pair.env.Seed+1))
+		mc := QuickModelConfig(pair.env.Seed + 1)
+		mc.Workers = e.Workers
+		res, err := core.TrainModelCtx(e.ctx(), d, mc)
 		if err != nil {
 			return nil, err
 		}

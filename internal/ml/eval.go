@@ -1,9 +1,12 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Ranker is anything that can rank classes for an input — the trained
@@ -26,14 +29,51 @@ func (f ForestRanker) RankClasses(x []float64) ([]int, error) {
 	return TopKOf(p, 0), nil
 }
 
+// RankClassesInto computes the same ranking as RankClasses without
+// allocating: probs and idx are caller scratch of length NumClasses().
+func (f ForestRanker) RankClassesInto(x []float64, probs []float64, idx []int) error {
+	if err := f.PredictProbaInto(x, probs); err != nil {
+		return err
+	}
+	if len(idx) != len(probs) {
+		return fmt.Errorf("ml: rank scratch has %d slots, forest has %d classes", len(idx), len(probs))
+	}
+	argsortDesc(probs, idx)
+	return nil
+}
+
+// rankerInto is the optional fast path TopKAccuracy/TopKCurve use when
+// the ranker can fill caller-owned scratch instead of allocating a
+// fresh ranking per row.
+type rankerInto interface {
+	NumClasses() int
+	RankClassesInto(x []float64, probs []float64, idx []int) error
+}
+
 // RankerFunc adapts a function to Ranker.
 type RankerFunc func(x []float64) ([]int, error)
 
 // RankClasses calls the function.
 func (fn RankerFunc) RankClasses(x []float64) ([]int, error) { return fn(x) }
 
+// topKHit reports whether label y appears in the first k entries of
+// ranked.
+func topKHit(ranked []int, y, k int) bool {
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	for _, c := range ranked {
+		if c == y {
+			return true
+		}
+	}
+	return false
+}
+
 // TopKAccuracy returns the fraction of test rows whose true label
-// appears in the ranker's first k classes.
+// appears in the ranker's first k classes. Rankers that implement the
+// scratch-filling fast path (the forest does) are evaluated with zero
+// allocations per row.
 func TopKAccuracy(r Ranker, d *Dataset, k int) (float64, error) {
 	if err := d.Validate(); err != nil {
 		return 0, err
@@ -42,20 +82,26 @@ func TopKAccuracy(r Ranker, d *Dataset, k int) (float64, error) {
 		return 0, fmt.Errorf("ml: top-k needs k >= 1, got %d", k)
 	}
 	hit := 0
+	if ri, ok := r.(rankerInto); ok {
+		probs := make([]float64, ri.NumClasses())
+		idx := make([]int, ri.NumClasses())
+		for i, x := range d.X {
+			if err := ri.RankClassesInto(x, probs, idx); err != nil {
+				return 0, fmt.Errorf("ml: ranking row %d: %w", i, err)
+			}
+			if topKHit(idx, d.Y[i], k) {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(d.X)), nil
+	}
 	for i, x := range d.X {
 		ranked, err := r.RankClasses(x)
 		if err != nil {
 			return 0, fmt.Errorf("ml: ranking row %d: %w", i, err)
 		}
-		top := ranked
-		if k < len(top) {
-			top = top[:k]
-		}
-		for _, c := range top {
-			if c == d.Y[i] {
-				hit++
-				break
-			}
+		if topKHit(ranked, d.Y[i], k) {
+			hit++
 		}
 	}
 	return float64(hit) / float64(len(d.X)), nil
@@ -70,21 +116,35 @@ func TopKCurve(r Ranker, d *Dataset, maxK int) ([]float64, error) {
 		return nil, fmt.Errorf("ml: maxK = %d", maxK)
 	}
 	hits := make([]int, maxK)
-	for i, x := range d.X {
-		ranked, err := r.RankClasses(x)
-		if err != nil {
-			return nil, fmt.Errorf("ml: ranking row %d: %w", i, err)
-		}
+	tally := func(ranked []int, y int) {
 		for pos, c := range ranked {
 			if pos >= maxK {
-				break
+				return
 			}
-			if c == d.Y[i] {
+			if c == y {
 				for k := pos; k < maxK; k++ {
 					hits[k]++
 				}
-				break
+				return
 			}
+		}
+	}
+	if ri, ok := r.(rankerInto); ok {
+		probs := make([]float64, ri.NumClasses())
+		idx := make([]int, ri.NumClasses())
+		for i, x := range d.X {
+			if err := ri.RankClassesInto(x, probs, idx); err != nil {
+				return nil, fmt.Errorf("ml: ranking row %d: %w", i, err)
+			}
+			tally(idx, d.Y[i])
+		}
+	} else {
+		for i, x := range d.X {
+			ranked, err := r.RankClasses(x)
+			if err != nil {
+				return nil, fmt.Errorf("ml: ranking row %d: %w", i, err)
+			}
+			tally(ranked, d.Y[i])
 		}
 	}
 	out := make([]float64, maxK)
@@ -142,13 +202,20 @@ func StratifiedKFold(d *Dataset, k int, rng *rand.Rand) ([][]int, error) {
 	return folds, nil
 }
 
-// CrossValidateForest trains on k-1 folds and evaluates top-k accuracy
-// on the held-out fold, returning the mean across folds.
-func CrossValidateForest(d *Dataset, cfg ForestConfig, folds [][]int, topK int) (float64, error) {
+// foldSplit is one fold's precomputed train/test subsets, shared
+// read-only by every config that cross-validates over it.
+type foldSplit struct {
+	train *Dataset
+	test  *Dataset
+	size  int // held-out rows, the fold's weight in the CV mean
+}
+
+// splitFolds materializes each fold's train/test subsets.
+func splitFolds(d *Dataset, folds [][]int) ([]foldSplit, error) {
 	if len(folds) < 2 {
-		return 0, fmt.Errorf("ml: need >= 2 folds, got %d", len(folds))
+		return nil, fmt.Errorf("ml: need >= 2 folds, got %d", len(folds))
 	}
-	total := 0.0
+	out := make([]foldSplit, len(folds))
 	for i := range folds {
 		var trainIdx []int
 		for j, f := range folds {
@@ -157,19 +224,122 @@ func CrossValidateForest(d *Dataset, cfg ForestConfig, folds [][]int, topK int) 
 			}
 		}
 		if len(trainIdx) == 0 || len(folds[i]) == 0 {
-			return 0, fmt.Errorf("ml: fold %d is degenerate", i)
+			return nil, fmt.Errorf("ml: fold %d is degenerate", i)
 		}
-		forest, err := FitForest(d.Subset(trainIdx), cfg)
-		if err != nil {
-			return 0, err
-		}
-		acc, err := TopKAccuracy(ForestRanker{forest}, d.Subset(folds[i]), topK)
-		if err != nil {
-			return 0, err
-		}
-		total += acc
+		out[i] = foldSplit{train: d.Subset(trainIdx), test: d.Subset(folds[i]), size: len(folds[i])}
 	}
-	return total / float64(len(folds)), nil
+	return out, nil
+}
+
+// runPool runs jobs 0..n-1 on `workers` goroutines and returns the
+// first error in job order (or ctx's error on cancellation). Jobs are
+// claimed by atomic counter, so completion order is nondeterministic
+// but every result lands in a caller-owned slot.
+func runPool(ctx context.Context, n, workers int, job func(i int) error) error {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if errs[i] = job(i); errs[i] != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitWorkers divides a total worker budget between a job-level pool
+// and the forest training inside each job: outer pool first, leftover
+// parallelism nested into each fit.
+func splitWorkers(total, jobs int) (outer, inner int) {
+	outer = resolveWorkers(total, jobs)
+	if total <= 0 {
+		total = resolveWorkers(0, 1<<30)
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// CrossValidateForest trains on k-1 folds and evaluates top-k accuracy
+// on the held-out fold, returning the mean across folds weighted by
+// held-out fold size (folds are unequal when n % k != 0; an unweighted
+// mean would over-count the small folds).
+func CrossValidateForest(d *Dataset, cfg ForestConfig, folds [][]int, topK int) (float64, error) {
+	return CrossValidateForestCtx(context.Background(), d, cfg, folds, topK)
+}
+
+// CrossValidateForestCtx is CrossValidateForest on a bounded worker
+// pool: folds evaluate concurrently (cfg.Workers total parallelism,
+// shared between the fold pool and each fold's forest fit) with the
+// score identical at any worker count.
+func CrossValidateForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig, folds [][]int, topK int) (float64, error) {
+	splits, err := splitFolds(d, folds)
+	if err != nil {
+		return 0, err
+	}
+	outer, inner := splitWorkers(cfg.Workers, len(splits))
+	fitCfg := cfg
+	fitCfg.Workers = inner
+	scores := make([]float64, len(splits))
+	err = runPool(ctx, len(splits), outer, func(i int) error {
+		forest, err := FitForestCtx(ctx, splits[i].train, fitCfg)
+		if err != nil {
+			return err
+		}
+		acc, err := TopKAccuracy(ForestRanker{forest}, splits[i].test, topK)
+		if err != nil {
+			return err
+		}
+		scores[i] = acc
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return weightedFoldMean(scores, splits), nil
+}
+
+// weightedFoldMean averages fold scores weighted by held-out size.
+func weightedFoldMean(scores []float64, splits []foldSplit) float64 {
+	num, den := 0.0, 0.0
+	for i, s := range scores {
+		w := float64(splits[i].size)
+		num += s * w
+		den += w
+	}
+	return num / den
 }
 
 // GridPoint is one hyperparameter combination with its CV score.
@@ -181,6 +351,16 @@ type GridPoint struct {
 // GridSearch cross-validates every config and returns them sorted by
 // descending score (best first). Ties keep input order.
 func GridSearch(d *Dataset, configs []ForestConfig, numFolds, topK int, seed int64) ([]GridPoint, error) {
+	return GridSearchCtx(context.Background(), d, configs, numFolds, topK, seed, 0)
+}
+
+// GridSearchCtx is GridSearch fanned out over every (config, fold)
+// pair on a bounded worker pool of `workers` total parallelism (0 =
+// GOMAXPROCS, shared between the pair pool and each pair's forest
+// fit). Scores and ordering are identical at any worker count: every
+// pair's forest is deterministic in (config, fold), results land in
+// indexed slots, and the final sort is stable over input order.
+func GridSearchCtx(ctx context.Context, d *Dataset, configs []ForestConfig, numFolds, topK int, seed int64, workers int) ([]GridPoint, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("ml: empty grid")
 	}
@@ -189,13 +369,37 @@ func GridSearch(d *Dataset, configs []ForestConfig, numFolds, topK int, seed int
 	if err != nil {
 		return nil, err
 	}
-	out := make([]GridPoint, 0, len(configs))
-	for _, cfg := range configs {
-		score, err := CrossValidateForest(d, cfg, folds, topK)
+	splits, err := splitFolds(d, folds)
+	if err != nil {
+		return nil, err
+	}
+	jobs := len(configs) * len(splits)
+	outer, inner := splitWorkers(workers, jobs)
+	scores := make([]float64, jobs)
+	err = runPool(ctx, jobs, outer, func(i int) error {
+		ci, fi := i/len(splits), i%len(splits)
+		fitCfg := configs[ci]
+		fitCfg.Workers = inner
+		forest, err := FitForestCtx(ctx, splits[fi].train, fitCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, GridPoint{Config: cfg, Score: score})
+		acc, err := TopKAccuracy(ForestRanker{forest}, splits[fi].test, topK)
+		if err != nil {
+			return err
+		}
+		scores[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GridPoint, 0, len(configs))
+	for ci, cfg := range configs {
+		out = append(out, GridPoint{
+			Config: cfg,
+			Score:  weightedFoldMean(scores[ci*len(splits):(ci+1)*len(splits)], splits),
+		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	return out, nil

@@ -1,9 +1,12 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ForestConfig controls random-forest training.
@@ -12,6 +15,10 @@ type ForestConfig struct {
 	Tree     TreeConfig
 	// Seed drives bootstrap sampling and feature subsampling.
 	Seed int64
+	// Workers bounds the training worker pool: 0 means GOMAXPROCS,
+	// 1 forces the serial path. The trained forest is bit-identical at
+	// any worker count — every random draw happens serially up front.
+	Workers int
 }
 
 func (c ForestConfig) normalized() ForestConfig {
@@ -24,6 +31,21 @@ func (c ForestConfig) normalized() ForestConfig {
 	return c
 }
 
+// resolveWorkers maps a Workers knob to a pool size bounded by the job
+// count.
+func resolveWorkers(w, jobs int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Forest is a trained random-forest classifier.
 type Forest struct {
 	trees       []*Tree
@@ -33,45 +55,134 @@ type Forest struct {
 
 // FitForest trains a bagged ensemble of CART trees.
 func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
+	return FitForestCtx(context.Background(), d, cfg)
+}
+
+// FitForestCtx trains a bagged ensemble of CART trees on a bounded
+// worker pool (cfg.Workers), honouring ctx cancellation between trees.
+//
+// Determinism scheme: every tree's bootstrap indices and subsampling
+// seed are drawn serially from cfg.Seed — in exactly the order the
+// serial loop draws them — before any tree fits. Workers then claim
+// tree indices and write each finished tree into its slot, so the
+// ensemble (and everything downstream: probabilities, rankings,
+// importances, serialized bytes) is bit-identical at any worker count.
+func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{numClasses: d.NumClasses, numFeatures: len(d.X[0])}
 	n := len(d.X)
-	for i := 0; i < cfg.NumTrees; i++ {
-		boot := make([]int, n)
+	boots := make([][]int, cfg.NumTrees)
+	seeds := make([]int64, cfg.NumTrees)
+	bootFlat := make([]int, cfg.NumTrees*n)
+	for i := range boots {
+		boot := bootFlat[i*n : (i+1)*n : (i+1)*n]
 		for j := range boot {
 			boot[j] = rng.Intn(n)
 		}
-		treeRng := rand.New(rand.NewSource(rng.Int63()))
-		t, err := FitTree(d.Subset(boot), cfg.Tree, treeRng)
+		boots[i] = boot
+		seeds[i] = rng.Int63()
+	}
+
+	fc := newFitContext(d)
+	f := &Forest{
+		trees:       make([]*Tree, cfg.NumTrees),
+		numClasses:  d.NumClasses,
+		numFeatures: len(d.X[0]),
+	}
+
+	workers := resolveWorkers(cfg.Workers, cfg.NumTrees)
+	if workers == 1 {
+		b := &treeBuilder{}
+		for i := range boots {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			t, err := b.fitTree(fc, cfg.Tree, rand.New(rand.NewSource(seeds[i])), boots[i])
+			if err != nil {
+				return nil, fmt.Errorf("ml: tree %d: %w", i, err)
+			}
+			f.trees[i] = t
+		}
+		return f, nil
+	}
+
+	var next atomic.Int64
+	errs := make([]error, cfg.NumTrees)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := &treeBuilder{} // scratch reused across this worker's trees
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= cfg.NumTrees || ctx.Err() != nil {
+					return
+				}
+				t, err := b.fitTree(fc, cfg.Tree, rand.New(rand.NewSource(seeds[i])), boots[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				f.trees[i] = t
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("ml: tree %d: %w", i, err)
 		}
-		f.trees = append(f.trees, t)
 	}
 	return f, nil
 }
 
-// PredictProba averages the trees' leaf distributions.
-func (f *Forest) PredictProba(x []float64) ([]float64, error) {
+// NumClasses reports the label-space size the forest was trained on.
+func (f *Forest) NumClasses() int { return f.numClasses }
+
+// checkWidth validates an input vector once at the forest level; the
+// per-tree descent then runs unchecked (every tree shares numFeatures).
+func (f *Forest) checkWidth(x []float64) error {
 	if len(x) != f.numFeatures {
-		return nil, fmt.Errorf("ml: input has %d features, forest trained on %d", len(x), f.numFeatures)
+		return fmt.Errorf("ml: input has %d features, forest trained on %d", len(x), f.numFeatures)
 	}
-	out := make([]float64, f.numClasses)
+	return nil
+}
+
+// PredictProbaInto averages the trees' leaf distributions into out
+// (length NumClasses) without allocating.
+func (f *Forest) PredictProbaInto(x []float64, out []float64) error {
+	if err := f.checkWidth(x); err != nil {
+		return err
+	}
+	if len(out) != f.numClasses {
+		return fmt.Errorf("ml: output has %d slots, forest has %d classes", len(out), f.numClasses)
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for _, t := range f.trees {
-		p, err := t.PredictProba(x)
-		if err != nil {
-			return nil, err
-		}
-		for i, v := range p {
+		for i, v := range t.leaf(x).probs {
 			out[i] += v
 		}
 	}
 	for i := range out {
 		out[i] /= float64(len(f.trees))
+	}
+	return nil
+}
+
+// PredictProba averages the trees' leaf distributions.
+func (f *Forest) PredictProba(x []float64) ([]float64, error) {
+	out := make([]float64, f.numClasses)
+	if err := f.PredictProbaInto(x, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -99,14 +210,76 @@ func (f *Forest) TopK(x []float64, k int) ([]int, error) {
 // indices (all of them when k <= 0 or k > len).
 func TopKOf(p []float64, k int) []int {
 	idx := make([]int, len(p))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return p[idx[a]] > p[idx[b]] })
+	argsortDesc(p, idx)
 	if k <= 0 || k > len(idx) {
 		k = len(idx)
 	}
 	return idx[:k]
+}
+
+// argsortDesc fills idx with the indices of p ordered by descending
+// value, ties by ascending index — the (value desc, index asc) key is a
+// total order, so the result is unique and any correct sort reproduces
+// the old stable-sort ranking. The scratch-free quicksort keeps the
+// batch evaluation path at zero allocations per row.
+func argsortDesc(p []float64, idx []int) {
+	for i := range idx {
+		idx[i] = i
+	}
+	argsortRange(p, idx)
+}
+
+// argRanks reports whether index a sorts before index b.
+func argRanks(p []float64, a, b int) bool {
+	if p[a] != p[b] {
+		return p[a] > p[b]
+	}
+	return a < b
+}
+
+func argsortRange(p []float64, idx []int) {
+	for len(idx) > 12 {
+		// Median-of-three pivot, then Hoare-style partition.
+		mid := len(idx) / 2
+		last := len(idx) - 1
+		if argRanks(p, idx[mid], idx[0]) {
+			idx[mid], idx[0] = idx[0], idx[mid]
+		}
+		if argRanks(p, idx[last], idx[0]) {
+			idx[last], idx[0] = idx[0], idx[last]
+		}
+		if argRanks(p, idx[last], idx[mid]) {
+			idx[last], idx[mid] = idx[mid], idx[last]
+		}
+		pivot := idx[mid]
+		i, j := 0, last
+		for i <= j {
+			for argRanks(p, idx[i], pivot) {
+				i++
+			}
+			for argRanks(p, pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(idx)-i {
+			argsortRange(p, idx[:j+1])
+			idx = idx[i:]
+		} else {
+			argsortRange(p, idx[i:])
+			idx = idx[:j+1]
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && argRanks(p, idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 }
 
 // NumTrees reports ensemble size.

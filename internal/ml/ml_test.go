@@ -443,6 +443,23 @@ func BenchmarkForestFit(b *testing.B) {
 	}
 }
 
+// benchForestFitWorkers trains a paper-shaped forest (100 trees) at a
+// fixed worker count; compare Serial vs Parallel ns/op for the pool
+// speedup (the forests are bit-identical).
+func benchForestFitWorkers(b *testing.B, workers int) {
+	d := gaussDataset(600, 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitForest(d, ForestConfig{NumTrees: 100, Tree: TreeConfig{MaxDepth: 10}, Seed: 7, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFitSerial(b *testing.B)   { benchForestFitWorkers(b, 1) }
+func BenchmarkForestFitParallel(b *testing.B) { benchForestFitWorkers(b, 0) }
+
 func BenchmarkForestPredict(b *testing.B) {
 	d := gaussDataset(300, 19)
 	forest, err := FitForest(d, ForestConfig{NumTrees: 50, Tree: TreeConfig{MaxDepth: 6}, Seed: 1})
@@ -453,6 +470,27 @@ func BenchmarkForestPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := forest.PredictProba(d.X[i%len(d.X)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredictBatch is the zero-allocation batch path
+// TopKAccuracy/TopKCurve evaluate through: probabilities and ranking
+// land in caller scratch (0 allocs/op).
+func BenchmarkForestPredictBatch(b *testing.B) {
+	d := gaussDataset(300, 19)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 50, Tree: TreeConfig{MaxDepth: 6}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := make([]float64, forest.NumClasses())
+	idx := make([]int, forest.NumClasses())
+	ranker := ForestRanker{forest}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ranker.RankClassesInto(d.X[i%len(d.X)], probs, idx); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,13 +4,21 @@
 // subsampling, gini feature importance, stratified k-fold
 // cross-validation, grid search, and the top-k accuracy metric used to
 // compare the model against the most-populated-cluster baseline.
+//
+// Training is built for throughput without giving up reproducibility:
+// forests train on a bounded worker pool with every random draw made
+// serially up front, split search runs over presorted per-feature
+// index arrays partitioned down the recursion instead of re-sorting at
+// every node, and the batch prediction path is allocation-free. All of
+// it is bit-identical to the straightforward serial implementation —
+// see README "Learning engine internals".
 package ml
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 )
 
 // Dataset is a supervised classification dataset. Rows of X are
@@ -99,7 +107,7 @@ type node struct {
 	threshold float64
 	left      int32
 	right     int32
-	probs     []float64 // leaf class distribution
+	probs     []float64 // leaf class distribution (view into Tree.leafProbs)
 }
 
 // Tree is a trained CART classifier.
@@ -108,6 +116,118 @@ type Tree struct {
 	numClasses  int
 	numFeatures int
 	importance  []float64 // unnormalized gini-decrease per feature
+	// leafProbs is the single backing array every leaf's probs slice
+	// points into: one numClasses-wide block per leaf in node order.
+	leafProbs []float64
+}
+
+// fitContext is the per-dataset presort shared by every tree of a fit:
+// a column-major copy of X plus, per feature, the row indices sorted
+// ascending by that feature's value. Columns that are constant across
+// the dataset (most of the §6 cluster-count features are) can never
+// host a split, so they are flagged and never sorted, materialized, or
+// partitioned. Immutable after construction; concurrent tree builders
+// share one instance.
+type fitContext struct {
+	d           *Dataset
+	numFeatures int
+	cols        [][]float64 // cols[f][row] = X[row][f]
+	order       [][]int32   // order[f] = rows sorted ascending by cols[f]; nil when constant
+	constant    []bool      // constant[f]: column f has a single value
+}
+
+// newFitContext builds the column store and sorts each varying feature
+// column once. O(active features * n log n), paid once per
+// FitForest/FitTree call instead of once per node as the sort-per-node
+// engine did.
+func newFitContext(d *Dataset) *fitContext {
+	n := len(d.X)
+	nf := len(d.X[0])
+	fc := &fitContext{d: d, numFeatures: nf}
+	colsFlat := make([]float64, nf*n)
+	fc.cols = make([][]float64, nf)
+	fc.order = make([][]int32, nf)
+	fc.constant = make([]bool, nf)
+	for f := 0; f < nf; f++ {
+		col := colsFlat[f*n : (f+1)*n : (f+1)*n]
+		constant := true
+		for r, row := range d.X {
+			col[r] = row[f]
+			if row[f] != col[0] {
+				constant = false
+			}
+		}
+		fc.cols[f] = col
+		fc.constant[f] = constant
+	}
+	active := 0
+	for f := 0; f < nf; f++ {
+		if !fc.constant[f] {
+			active++
+		}
+	}
+	ordFlat := make([]int32, active*n)
+	k := 0
+	for f := 0; f < nf; f++ {
+		if fc.constant[f] {
+			continue
+		}
+		ord := ordFlat[k*n : (k+1)*n : (k+1)*n]
+		k++
+		for r := range ord {
+			ord[r] = int32(r)
+		}
+		sortIdxByKey(fc.cols[f], ord)
+		fc.order[f] = ord
+	}
+	return fc
+}
+
+// sortIdxByKey sorts idx ascending by key[idx[i]] with a fat-pivot
+// (three-way) quicksort: no closure dispatch, and duplicate-heavy
+// columns — the common case for cluster-count features — collapse in
+// one partition pass. Equal keys land in arbitrary order, which the
+// split scan is insensitive to.
+func sortIdxByKey(key []float64, idx []int32) {
+	for len(idx) > 16 {
+		a, b, c := key[idx[0]], key[idx[len(idx)/2]], key[idx[len(idx)-1]]
+		// Median of three as the fat pivot.
+		pivot := a
+		switch {
+		case (a <= b && b <= c) || (c <= b && b <= a):
+			pivot = b
+		case (a <= c && c <= b) || (b <= c && c <= a):
+			pivot = c
+		}
+		lt, i, gt := 0, 0, len(idx)
+		for i < gt {
+			k := key[idx[i]]
+			switch {
+			case k < pivot:
+				idx[lt], idx[i] = idx[i], idx[lt]
+				lt++
+				i++
+			case k > pivot:
+				gt--
+				idx[i], idx[gt] = idx[gt], idx[i]
+			default:
+				i++
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if lt < len(idx)-gt {
+			sortIdxByKey(key, idx[:lt])
+			idx = idx[gt:]
+		} else {
+			sortIdxByKey(key, idx[gt:])
+			idx = idx[:lt]
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && key[idx[j]] < key[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 }
 
 // FitTree grows a CART tree. The rng drives feature subsampling; pass
@@ -116,40 +236,267 @@ func FitTree(d *Dataset, cfg TreeConfig, rng *rand.Rand) (*Tree, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	numFeatures := len(d.X[0])
-	cfg = cfg.normalized(numFeatures)
-	if cfg.MaxFeatures < numFeatures && rng == nil {
-		return nil, fmt.Errorf("ml: feature subsampling requires an rng")
-	}
-	t := &Tree{
-		numClasses:  d.NumClasses,
-		numFeatures: numFeatures,
-		importance:  make([]float64, numFeatures),
-	}
-	idx := make([]int, len(d.X))
-	for i := range idx {
-		idx[i] = i
-	}
-	b := &treeBuilder{d: d, cfg: cfg, rng: rng, t: t, total: float64(len(idx))}
-	b.grow(idx, 0)
-	return t, nil
+	b := &treeBuilder{}
+	return b.fitTree(newFitContext(d), cfg, rng, nil)
 }
 
+// treeBuilder grows trees from a fitContext. All of its buffers are
+// reused across trees, so a worker that fits many trees allocates the
+// scratch once. Not safe for concurrent use; the pool gives each
+// worker its own builder.
 type treeBuilder struct {
-	d     *Dataset
+	fc    *fitContext
 	cfg   TreeConfig
 	rng   *rand.Rand
 	t     *Tree
+	n     int
 	total float64
+
+	cols [][]float64 // per-tree column store: cols[f][pos] over sample positions
+	y    []int32     // label per sample position
+	ord  [][]int32   // per-feature positions sorted by value, partitioned in place
+	pos  []int32     // membership order: the node's positions, partitioned with ord
+	tmp  []int32     // stable-partition scratch (right-child spill)
+	mark []bool      // per-position left/right marks for the current split
+
+	// Features constant within this tree's sample can never host a split
+	// (the scan skipped them via its equal-endpoints check), so only the
+	// active remainder is sorted, stored, and partitioned.
+	activeMask []bool
+	activeList []int32
+
+	// extract switches the engine between its two exact strategies.
+	// Narrow data (active features ≲ features sampled per split) keeps
+	// every feature's order array partitioned down the recursion; wide
+	// data (the §6 shape: ~200 varying columns, ~15 sampled per node)
+	// maintains only the membership array and derives each sampled
+	// feature's sorted segment on demand — by filtering the global value
+	// order for dense nodes or sorting the node's positions for small
+	// ones. Both orderings visit identical split candidates, so the
+	// choice never changes the tree.
+	extract  bool
+	identity bool    // boot was nil: positions are dataset rows
+	invPos   []int32 // invPos[pos] = current index of pos in b.pos
+	segBuf   []int32 // extraction scratch for one feature's sorted segment
+
+	rowCnt   []int32 // bootstrap multiplicity per dataset row
+	rowStart []int32 // prefix offsets into posByRow
+	posByRow []int32 // sample positions grouped by dataset row
+
+	counts      []float64 // class counts of the current node
+	leftCounts  []float64
+	rightCounts []float64
+	allFeatures []int // identity feature list when MaxFeatures >= numFeatures
+
+	colsFlat []float64
+	ordFlat  []int32
 }
 
-// classCounts tallies labels of the subset.
-func (b *treeBuilder) classCounts(idx []int) []float64 {
-	counts := make([]float64, b.d.NumClasses)
-	for _, i := range idx {
-		counts[b.d.Y[i]]++
+// fitTree grows one tree over the sample positions boot (nil = the
+// identity sample, i.e. the whole dataset). The result is bit-identical
+// to growing on d.Subset(boot) with the sort-per-node engine.
+func (b *treeBuilder) fitTree(fc *fitContext, cfg TreeConfig, rng *rand.Rand, boot []int) (*Tree, error) {
+	cfg = cfg.normalized(fc.numFeatures)
+	if cfg.MaxFeatures < fc.numFeatures && rng == nil {
+		return nil, fmt.Errorf("ml: feature subsampling requires an rng")
 	}
-	return counts
+	n := len(boot)
+	if boot == nil {
+		n = len(fc.d.X)
+	}
+	t := &Tree{
+		numClasses:  fc.d.NumClasses,
+		numFeatures: fc.numFeatures,
+		importance:  make([]float64, fc.numFeatures),
+	}
+	b.fc, b.cfg, b.rng, b.t = fc, cfg, rng, t
+	b.n, b.total = n, float64(n)
+	b.reset(boot)
+	b.grow(0, int32(n), 0)
+	// The backing array is final now, so leaf views are stable: hand
+	// each leaf its numClasses-wide block in node (= DFS) order.
+	off := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			t.nodes[i].probs = t.leafProbs[off : off+t.numClasses : off+t.numClasses]
+			off += t.numClasses
+		}
+	}
+	return t, nil
+}
+
+// reset sizes the scratch for the current (fc, boot) pair, materializes
+// the per-tree column store, and derives each feature's presorted
+// position list from the fitContext's global order in O(n) per feature:
+// bucket the bootstrap positions by row (a counting sort), then walk
+// the globally sorted rows emitting each row's positions.
+func (b *treeBuilder) reset(boot []int) {
+	n, nf, nc := b.n, b.fc.numFeatures, b.fc.d.NumClasses
+	nRows := len(b.fc.d.X)
+	if cap(b.colsFlat) < nf*n {
+		b.colsFlat = make([]float64, nf*n)
+	}
+	if len(b.cols) != nf {
+		b.cols = make([][]float64, nf)
+		b.ord = make([][]int32, nf)
+	}
+	if cap(b.tmp) < n {
+		b.tmp = make([]int32, n)
+		b.mark = make([]bool, n)
+		b.posByRow = make([]int32, n)
+		b.pos = make([]int32, n)
+	}
+	if len(b.activeMask) != nf {
+		b.activeMask = make([]bool, nf)
+		b.activeList = make([]int32, 0, nf)
+	}
+	b.activeList = b.activeList[:0]
+	if cap(b.rowCnt) < nRows+1 {
+		b.rowCnt = make([]int32, nRows+1)
+		b.rowStart = make([]int32, nRows+1)
+	}
+	if cap(b.counts) < nc {
+		b.counts = make([]float64, nc)
+		b.leftCounts = make([]float64, nc)
+		b.rightCounts = make([]float64, nc)
+	}
+	b.counts = b.counts[:nc]
+	b.leftCounts = b.leftCounts[:nc]
+	b.rightCounts = b.rightCounts[:nc]
+	if cap(b.y) < n {
+		b.y = make([]int32, n)
+	}
+	b.y = b.y[:n]
+	if len(b.allFeatures) != nf {
+		b.allFeatures = make([]int, nf)
+		for f := range b.allFeatures {
+			b.allFeatures[f] = f
+		}
+	}
+
+	b.identity = boot == nil
+	if b.identity {
+		// Identity sample: positions are rows; the global order is the
+		// tree's order.
+		for pos := 0; pos < n; pos++ {
+			b.y[pos] = int32(b.fc.d.Y[pos])
+		}
+		for f := 0; f < nf; f++ {
+			if b.fc.constant[f] {
+				b.activeMask[f] = false
+				b.cols[f], b.ord[f] = nil, nil
+				continue
+			}
+			b.activeMask[f] = true
+			b.activeList = append(b.activeList, int32(f))
+			b.cols[f] = b.fc.cols[f]
+		}
+	} else {
+		cnt := b.rowCnt[:nRows]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, r := range boot {
+			cnt[r]++
+		}
+		start := b.rowStart[:nRows+1]
+		var acc int32
+		for r, c := range cnt {
+			start[r] = acc
+			acc += c
+		}
+		start[nRows] = acc
+		// Group positions by row, keeping ascending position order within
+		// a row (ties within equal feature values are order-insensitive
+		// for split search, but a fixed order keeps the layout
+		// deterministic).
+		next := cnt // reuse as cursor: next[r] = start[r] while filling
+		copy(next, start[:nRows])
+		byRow := b.posByRow[:n]
+		for pos, r := range boot {
+			byRow[next[r]] = int32(pos)
+			next[r]++
+		}
+		for pos, r := range boot {
+			b.y[pos] = int32(b.fc.d.Y[r])
+		}
+		slot := 0
+		for f := 0; f < nf; f++ {
+			if b.fc.constant[f] {
+				b.activeMask[f] = false
+				b.cols[f], b.ord[f] = nil, nil
+				continue
+			}
+			col := b.colsFlat[slot*n : (slot+1)*n : (slot+1)*n]
+			src := b.fc.cols[f]
+			constant := true
+			for pos, r := range boot {
+				col[pos] = src[r]
+				if src[r] != col[0] {
+					constant = false
+				}
+			}
+			if constant {
+				// Varies in the dataset but not in this bootstrap sample;
+				// the slot is reused by the next feature.
+				b.activeMask[f] = false
+				b.cols[f], b.ord[f] = nil, nil
+				continue
+			}
+			b.activeMask[f] = true
+			b.activeList = append(b.activeList, int32(f))
+			b.cols[f] = col
+			slot++
+		}
+	}
+
+	// Strategy choice (perf-only; both paths grow identical trees): when
+	// far more features vary than each split samples, maintaining every
+	// order array down the recursion costs more than deriving the few
+	// sampled segments on demand.
+	b.extract = len(b.activeList) > 4*b.cfg.MaxFeatures
+	if b.extract || len(b.activeList) == 0 {
+		// The membership array is only maintained in extraction mode; the
+		// partitioned engine reads membership off its first active
+		// feature's order array (any feature's segment holds the node's
+		// position set). The all-constant case keeps it as a fallback.
+		b.pos = b.pos[:n]
+		for i := range b.pos {
+			b.pos[i] = int32(i)
+		}
+	}
+	if b.extract {
+		if cap(b.invPos) < n {
+			b.invPos = make([]int32, n)
+			b.segBuf = make([]int32, n)
+		}
+		b.invPos = b.invPos[:n]
+		for i := range b.invPos {
+			b.invPos[i] = int32(i)
+		}
+		return
+	}
+
+	if cap(b.ordFlat) < nf*n {
+		b.ordFlat = make([]int32, nf*n)
+	}
+	for slot, fi := range b.activeList {
+		f := int(fi)
+		ord := b.ordFlat[slot*n : (slot+1)*n : (slot+1)*n]
+		if b.identity {
+			copy(ord, b.fc.order[f])
+		} else {
+			start, byRow := b.rowStart[:nRows+1], b.posByRow[:n]
+			k := 0
+			for _, r := range b.fc.order[f] {
+				for i := start[r]; i < start[r+1]; i++ {
+					ord[k] = byRow[i]
+					k++
+				}
+			}
+		}
+		b.ord[f] = ord
+	}
 }
 
 func gini(counts []float64, n float64) float64 {
@@ -177,40 +524,57 @@ func pure(counts []float64) bool {
 	return true
 }
 
-// grow builds the subtree for idx and returns its node index.
-func (b *treeBuilder) grow(idx []int, depth int) int32 {
-	counts := b.classCounts(idx)
-	n := float64(len(idx))
+// grow builds the subtree over the position range [lo, hi) — the same
+// contiguous segment of every feature's presorted order — and returns
+// its node index.
+func (b *treeBuilder) grow(lo, hi int32, depth int) int32 {
+	var seg []int32
+	if b.extract || len(b.activeList) == 0 {
+		seg = b.pos[lo:hi]
+	} else {
+		seg = b.ord[b.activeList[0]][lo:hi]
+	}
+	counts := b.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, pos := range seg {
+		counts[b.y[pos]]++
+	}
+	n := float64(hi - lo)
 
 	makeLeaf := func() int32 {
-		probs := make([]float64, len(counts))
-		for i, c := range counts {
-			probs[i] = c / n
+		for _, c := range counts {
+			b.t.leafProbs = append(b.t.leafProbs, c/n)
 		}
-		b.t.nodes = append(b.t.nodes, node{feature: -1, probs: probs})
+		b.t.nodes = append(b.t.nodes, node{feature: -1})
 		return int32(len(b.t.nodes) - 1)
 	}
 
-	if len(idx) < b.cfg.MinSamplesSplit ||
+	if int(hi-lo) < b.cfg.MinSamplesSplit ||
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
 		pure(counts) {
 		return makeLeaf()
 	}
 
-	feature, threshold, gain := b.bestSplit(idx, counts, n)
+	feature, threshold, gain := b.bestSplit(lo, hi, counts, n)
 	if feature < 0 {
 		return makeLeaf()
 	}
 
-	var left, right []int
-	for _, i := range idx {
-		if b.d.X[i][feature] <= threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	// Mark each position's side once; every feature's segment is then
+	// partitioned by the marks.
+	nLeft := int32(0)
+	col := b.cols[feature]
+	for _, pos := range seg {
+		left := col[pos] <= threshold
+		b.mark[pos] = left
+		if left {
+			nLeft++
 		}
 	}
-	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+	nRight := (hi - lo) - nLeft
+	if int(nLeft) < b.cfg.MinSamplesLeaf || int(nRight) < b.cfg.MinSamplesLeaf {
 		return makeLeaf()
 	}
 
@@ -218,11 +582,49 @@ func (b *treeBuilder) grow(idx []int, depth int) int32 {
 	// training samples (scikit-learn's convention).
 	b.t.importance[feature] += n / b.total * gain
 
+	// Stable partition keeps each child's segment sorted per feature:
+	// left positions compact forward, right positions spill to scratch
+	// and append behind. Extraction mode only carries the membership
+	// array (plus its inverse) down the recursion; the partitioned
+	// engine carries every active feature's order array, the first of
+	// which doubles as membership.
+	if b.extract {
+		k, m := 0, 0
+		for _, pos := range seg {
+			if b.mark[pos] {
+				seg[k] = pos
+				k++
+			} else {
+				b.tmp[m] = pos
+				m++
+			}
+		}
+		copy(seg[k:], b.tmp[:m])
+		for i := lo; i < hi; i++ {
+			b.invPos[b.pos[i]] = i
+		}
+	} else {
+		for _, fi := range b.activeList {
+			fseg := b.ord[fi][lo:hi]
+			k, m := 0, 0
+			for _, pos := range fseg {
+				if b.mark[pos] {
+					fseg[k] = pos
+					k++
+				} else {
+					b.tmp[m] = pos
+					m++
+				}
+			}
+			copy(fseg[k:], b.tmp[:m])
+		}
+	}
+
 	// Reserve this node's slot before growing children.
 	me := int32(len(b.t.nodes))
 	b.t.nodes = append(b.t.nodes, node{feature: feature, threshold: threshold})
-	l := b.grow(left, depth+1)
-	r := b.grow(right, depth+1)
+	l := b.grow(lo, lo+nLeft, depth+1)
+	r := b.grow(lo+nLeft, hi, depth+1)
 	b.t.nodes[me].left = l
 	b.t.nodes[me].right = r
 	return me
@@ -230,37 +632,45 @@ func (b *treeBuilder) grow(idx []int, depth int) int32 {
 
 // bestSplit searches the sampled features for the gini-optimal
 // threshold. Returns feature -1 when no split improves impurity.
-func (b *treeBuilder) bestSplit(idx []int, parentCounts []float64, n float64) (int, float64, float64) {
+//
+// Each feature's candidate scan walks its presorted segment directly —
+// O(n) per feature — instead of sorting (value, label) pairs per node.
+// The scan visits the same value boundaries with the same class counts
+// as a freshly sorted copy would (equal-value runs contribute no
+// candidates), so the chosen split is bit-identical to the
+// sort-per-node engine's; TestBestSplitPresortIdentical holds the two
+// together.
+func (b *treeBuilder) bestSplit(lo, hi int32, parentCounts []float64, n float64) (int, float64, float64) {
 	parentGini := gini(parentCounts, n)
 	bestFeature := -1
 	bestThreshold := 0.0
 	bestGain := 1e-12 // require a strictly positive gain
 
-	features := b.sampleFeatures()
-	// Reusable buffers for the scan.
-	type pair struct {
-		v float64
-		y int
-	}
-	pairs := make([]pair, len(idx))
-	leftCounts := make([]float64, b.d.NumClasses)
-
-	for _, f := range features {
-		for i, r := range idx {
-			pairs[i] = pair{v: b.d.X[r][f], y: b.d.Y[r]}
+	leftCounts, rightCounts := b.leftCounts, b.rightCounts
+	for _, f := range b.sampleFeatures() {
+		if !b.activeMask[f] {
+			continue // constant across the tree's sample
 		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
-			continue // constant feature
+		var seg []int32
+		if b.extract {
+			seg = b.extractSeg(f, lo, hi)
+		} else {
+			seg = b.ord[f][lo:hi]
+		}
+		col := b.cols[f]
+		if col[seg[0]] == col[seg[len(seg)-1]] {
+			continue // constant within this node
 		}
 		for i := range leftCounts {
 			leftCounts[i] = 0
 		}
-		rightCounts := append([]float64(nil), parentCounts...)
-		for i := 0; i < len(pairs)-1; i++ {
-			leftCounts[pairs[i].y]++
-			rightCounts[pairs[i].y]--
-			if pairs[i].v == pairs[i+1].v {
+		copy(rightCounts, parentCounts)
+		for i := 0; i < len(seg)-1; i++ {
+			yi := b.y[seg[i]]
+			leftCounts[yi]++
+			rightCounts[yi]--
+			v := col[seg[i]]
+			if v == col[seg[i+1]] {
 				continue // can't split between equal values
 			}
 			nl := float64(i + 1)
@@ -272,36 +682,68 @@ func (b *treeBuilder) bestSplit(idx []int, parentCounts []float64, n float64) (i
 			if g > bestGain {
 				bestGain = g
 				bestFeature = f
-				bestThreshold = (pairs[i].v + pairs[i+1].v) / 2
+				bestThreshold = (v + col[seg[i+1]]) / 2
 			}
 		}
 	}
 	return bestFeature, bestThreshold, bestGain
 }
 
+// extractSeg returns the node's positions sorted ascending by feature
+// f's value, derived on demand in extraction mode. Dense nodes filter
+// the fitContext's global value order by membership in [lo, hi) — O(n)
+// regardless of node size — while small nodes sort their positions
+// directly. Ties land in arbitrary order either way, which the split
+// scan is insensitive to, so both routes match the partitioned engine
+// bit for bit.
+func (b *treeBuilder) extractSeg(f int, lo, hi int32) []int32 {
+	s := int(hi - lo)
+	seg := b.segBuf[:s]
+	if s*bits.Len(uint(s)) <= 3*b.n {
+		copy(seg, b.pos[lo:hi])
+		sortIdxByKey(b.cols[f], seg)
+		return seg
+	}
+	k := 0
+	if b.identity {
+		for _, r := range b.fc.order[f] {
+			if ip := b.invPos[r]; ip >= lo && ip < hi {
+				seg[k] = r
+				k++
+			}
+		}
+		return seg
+	}
+	start, byRow := b.rowStart, b.posByRow
+	for _, r := range b.fc.order[f] {
+		for i := start[r]; i < start[r+1]; i++ {
+			p := byRow[i]
+			if ip := b.invPos[p]; ip >= lo && ip < hi {
+				seg[k] = p
+				k++
+			}
+		}
+	}
+	return seg
+}
+
 // sampleFeatures picks cfg.MaxFeatures distinct feature indices.
 func (b *treeBuilder) sampleFeatures() []int {
-	nf := b.t.numFeatures
+	nf := b.fc.numFeatures
 	if b.cfg.MaxFeatures >= nf {
-		out := make([]int, nf)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+		return b.allFeatures
 	}
 	return b.rng.Perm(nf)[:b.cfg.MaxFeatures]
 }
 
-// PredictProba returns the class distribution for one feature vector.
-func (t *Tree) PredictProba(x []float64) ([]float64, error) {
-	if len(x) != t.numFeatures {
-		return nil, fmt.Errorf("ml: input has %d features, tree trained on %d", len(x), t.numFeatures)
-	}
+// leaf descends to the leaf for x without width validation; callers
+// (Forest's batch path) validate once at the ensemble level.
+func (t *Tree) leaf(x []float64) *node {
 	i := int32(0)
 	for {
 		nd := &t.nodes[i]
 		if nd.feature < 0 {
-			return nd.probs, nil
+			return nd
 		}
 		if x[nd.feature] <= nd.threshold {
 			i = nd.left
@@ -309,6 +751,14 @@ func (t *Tree) PredictProba(x []float64) ([]float64, error) {
 			i = nd.right
 		}
 	}
+}
+
+// PredictProba returns the class distribution for one feature vector.
+func (t *Tree) PredictProba(x []float64) ([]float64, error) {
+	if len(x) != t.numFeatures {
+		return nil, fmt.Errorf("ml: input has %d features, tree trained on %d", len(x), t.numFeatures)
+	}
+	return t.leaf(x).probs, nil
 }
 
 // Predict returns the most probable class.

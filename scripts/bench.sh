@@ -1,0 +1,57 @@
+#!/bin/sh
+# Run the learning-engine benchmarks and record them as JSON, one
+# object per benchmark: {"name", "iterations", "ns_per_op",
+# "bytes_per_op", "allocs_per_op", "metrics": {...}}.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x scripts/bench.sh BENCH_PR3.json
+#
+# Only the standard library and POSIX awk are assumed. The raw `go
+# test -bench` lines pass through on stderr so a terminal run stays
+# readable.
+set -eu
+
+out=${1:-bench.json}
+benchtime=${BENCHTIME:-5x}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+{
+    go test ./internal/ml -run='^$' -bench='^BenchmarkForest' \
+        -benchmem -benchtime="$benchtime"
+    go test . -run='^$' -bench='^BenchmarkFig8TopK' \
+        -benchmem -benchtime="$benchtime"
+} | tee "$tmp" >&2
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; metrics = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")           ns = v
+        else if (u == "B/op")       bytes = v
+        else if (u == "allocs/op")  allocs = v
+        else {
+            gsub(/"/, "", u)
+            metrics = metrics (metrics == "" ? "" : ", ") \
+                "\"" u "\": " v
+        }
+    }
+    line = "  {\"name\": \"" name "\", \"iterations\": " iters
+    if (ns != "")     line = line ", \"ns_per_op\": " ns
+    if (bytes != "")  line = line ", \"bytes_per_op\": " bytes
+    if (allocs != "") line = line ", \"allocs_per_op\": " allocs
+    if (metrics != "") line = line ", \"metrics\": {" metrics "}"
+    line = line "}"
+    lines[n++] = line
+}
+END {
+    print "["
+    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+    print "]"
+}
+' "$tmp" > "$out"
+echo "wrote $out" >&2
