@@ -8,6 +8,9 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ml"
 	"repro/internal/obstruction"
+	"repro/internal/pipeline"
 	"repro/internal/scheduler"
 )
 
@@ -356,6 +360,106 @@ func BenchmarkAblationModel(b *testing.B) {
 		top5 = res.ModelTopK[4]
 	}
 	b.ReportMetric(top5*100, "tree_top5%")
+}
+
+// sampleLiveHeap folds the current live heap above base into peak. A
+// forced GC first makes HeapAlloc the live set rather than live plus
+// uncollected garbage; it is expensive, so callers sample sparsely.
+func sampleLiveHeap(base uint64, peak *uint64) {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > base && m.HeapAlloc-base > *peak {
+		*peak = m.HeapAlloc - base
+	}
+}
+
+// BenchmarkCampaignMemory is the O(1)-memory claim for the streaming
+// pipeline, measured. An oracle campaign runs source → stage → sink
+// at 60 slots and at 10× that, in two sink configurations: "stream"
+// encodes observations record-at-a-time to a discarded JSONL stream
+// and keeps only skip counters, "batch" materializes every record and
+// observation the way CampaignResult does. Both sample the live heap
+// (forced GC) at the same fixed cadence as records flow and once
+// after the run with results still reachable. final_live_MB is the
+// headline: flat across the 10× jump for stream — it holds a reorder
+// window, not the campaign — and linear in slots for batch. Record
+// with scripts/bench.sh (BENCH_PR4.json).
+func BenchmarkCampaignMemory(b *testing.B) {
+	for _, tc := range []struct {
+		mode  string
+		slots int
+	}{
+		{"stream", 60},
+		{"stream", 600},
+		{"batch", 60},
+		{"batch", 600},
+	} {
+		b.Run(fmt.Sprintf("%s/slots=%d", tc.mode, tc.slots), func(b *testing.B) {
+			env, _, _ := benchSetup(b)
+			cfg := core.CampaignConfig{
+				Scheduler:  env.Sched,
+				Identifier: env.Ident,
+				Start:      env.Start(),
+				Slots:      tc.slots,
+				Oracle:     true,
+				Workers:    4,
+			}
+			b.ReportAllocs()
+			var peak, final uint64
+			var served int
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var base runtime.MemStats
+				runtime.ReadMemStats(&base)
+				peak, final = 0, 0
+
+				// A fixed 8 samples per run, whatever the slot count:
+				// the in-flight window fluctuates, and sampling a longer
+				// run more often would bias its observed max upward.
+				every := tc.slots * len(env.Terminals) / 8
+				if every == 0 {
+					every = 1
+				}
+				n := 0
+				sample := pipeline.SinkFunc(func(rec *pipeline.Record) error {
+					if n++; n%every == 0 {
+						sampleLiveHeap(base.HeapAlloc, &peak)
+					}
+					return nil
+				})
+
+				src := &pipeline.Campaign{Config: cfg}
+				counts := &pipeline.CountSkips{}
+				collect := &pipeline.Collect{}
+				obs := &pipeline.CollectObservations{}
+				sinks := []pipeline.Sink{sample}
+				if tc.mode == "batch" {
+					sinks = append(sinks, collect, pipeline.Where(pipeline.ChosenOnly(), obs))
+				} else {
+					sinks = append(sinks, counts, pipeline.Where(pipeline.ChosenOnly(), pipeline.WriteObservations(io.Discard)))
+				}
+				p := &pipeline.Pipeline{Source: src, Sinks: sinks}
+				if err := p.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				sampleLiveHeap(base.HeapAlloc, &final)
+				if final > peak {
+					peak = final
+				}
+				runtime.KeepAlive(collect)
+				runtime.KeepAlive(obs)
+				if tc.mode == "batch" {
+					served = len(obs.Obs)
+				} else {
+					served = counts.Served
+				}
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak_live_MB")
+			b.ReportMetric(float64(final)/(1<<20), "final_live_MB")
+			b.ReportMetric(float64(served), "served")
+		})
+	}
 }
 
 // BenchmarkSchedulerAllocate measures one global allocation round

@@ -6,7 +6,7 @@
 //
 //	repro [flags] <experiment>
 //
-// Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 all
+// Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 stream all
 //
 // Flags:
 //
@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
@@ -33,8 +34,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obstruction"
+	"repro/internal/pipeline"
 	"repro/internal/skyplot"
-	"repro/internal/traceio"
 )
 
 func main() {
@@ -52,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|ext|all")
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|all")
 		os.Exit(2)
 	}
 	// Ctrl-C aborts the campaign loop cleanly: the context threads down
@@ -84,29 +85,45 @@ func run(ctx context.Context, what, scale string, seed int64, slots, workers int
 				return err
 			}
 			defer f.Close()
-			obs, err = traceio.ReadObservations(f)
-			if err != nil {
+			// Replay the trace record by record: a multi-gigabyte capture
+			// decodes in O(1) memory beyond the collected rows themselves.
+			collect := &pipeline.CollectObservations{}
+			counts := &pipeline.CountSkips{}
+			p := &pipeline.Pipeline{
+				Source: pipeline.ObservationReplay{R: f},
+				Sinks:  []pipeline.Sink{counts, pipeline.Where(pipeline.ChosenOnly(), collect)},
+			}
+			if err := p.Run(ctx); err != nil {
 				return err
 			}
-			fmt.Printf("# loaded %d observations from %s\n\n", len(obs), loadObs)
+			obs = collect.Obs
+			fmt.Printf("# loaded %d observations from %s (%d records, %d without a chosen satellite)\n\n",
+				len(obs), loadObs, counts.Total, counts.Total-counts.Served)
 			return nil
 		}
-		fmt.Printf("# running %d-slot oracle campaign over 4 terminals...\n", slots)
+		fmt.Printf("# running %d-slot oracle campaign over %d terminals...\n", slots, len(env.Terminals))
 		start := time.Now()
-		obs, err = env.Observations(slots)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("# %d observations in %.1fs\n\n", len(obs), time.Since(start).Seconds())
+		collect := &pipeline.CollectObservations{}
+		sinks := []pipeline.Sink{collect}
 		if saveObs != "" {
 			f, err := os.Create(saveObs)
 			if err != nil {
 				return err
 			}
 			defer f.Close()
-			if err := traceio.WriteObservations(f, obs); err != nil {
-				return err
-			}
+			// The file fills as the campaign runs — one pass, no buffering
+			// of the whole trace.
+			sinks = append(sinks, pipeline.WriteObservations(f))
+		}
+		st, err := env.StreamObservations(slots, sinks...)
+		if err != nil {
+			return err
+		}
+		obs = collect.Obs
+		fmt.Printf("# %d observations in %.1fs\n", len(obs), time.Since(start).Seconds())
+		printCampaignStats(st)
+		fmt.Println()
+		if saveObs != "" {
 			fmt.Printf("# wrote observations to %s\n\n", saveObs)
 		}
 		return nil
@@ -114,7 +131,7 @@ func run(ctx context.Context, what, scale string, seed int64, slots, workers int
 
 	experimentsToRun := []string{what}
 	if what == "all" {
-		experimentsToRun = []string{"fig2", "stats", "fig3", "ident", "fig4", "fig5", "fig6", "fig7", "fig8", "ext"}
+		experimentsToRun = []string{"fig2", "stats", "fig3", "ident", "fig4", "fig5", "fig6", "fig7", "fig8", "stream", "ext"}
 	}
 	for _, ex := range experimentsToRun {
 		fmt.Printf("==== %s ====\n", ex)
@@ -147,6 +164,8 @@ func run(ctx context.Context, what, scale string, seed int64, slots, workers int
 			if err = needObs(); err == nil {
 				err = runFig8(env, obs, fullGrid, saveMdl)
 			}
+		case "stream":
+			err = runStream(env, slots)
 		case "ext":
 			err = runExtensions(env, slots)
 		default:
@@ -300,12 +319,16 @@ func runFig4(env *experiments.Env, obs []core.Observation) error {
 	if err != nil {
 		return err
 	}
+	printAOE(a)
+	return nil
+}
+
+func printAOE(a *core.AOEAnalysis) {
 	fmt.Println("Figure 4: AOE of available (dotted) vs selected (solid) satellites")
 	fmt.Printf("median AOE lift (chosen - available), mean over terminals: %.1f deg (paper: 22.9)\n", a.MedianLiftDeg)
 	fmt.Printf("chosen with AOE in [45,90]: %.0f%% (paper: 80%%); available: %.0f%% (paper: 30%%)\n",
 		a.HighBandChosenFrac*100, a.HighBandAvailableFrac*100)
 	printCDFs(a.PerTerminal, "aoe_deg")
-	return nil
 }
 
 func runFig5(env *experiments.Env, obs []core.Observation) error {
@@ -313,6 +336,11 @@ func runFig5(env *experiments.Env, obs []core.Observation) error {
 	if err != nil {
 		return err
 	}
+	printAzimuth(a)
+	return nil
+}
+
+func printAzimuth(a *core.AzimuthAnalysis) {
 	fmt.Println("Figure 5: azimuths of available (dotted) vs selected (solid) satellites")
 	fmt.Println("terminal\tnorth_chosen\tnorth_avail\tnw_chosen")
 	for _, tc := range a.PerTerminal {
@@ -322,7 +350,6 @@ func runFig5(env *experiments.Env, obs []core.Observation) error {
 	}
 	fmt.Println("(paper: north chosen 82% vs available 58%; Ithaca NW 9.7% vs 55.4% elsewhere)")
 	printCDFs(a.PerTerminal, "azimuth_deg")
-	return nil
 }
 
 func runFig6(env *experiments.Env, obs []core.Observation) error {
@@ -330,18 +357,31 @@ func runFig6(env *experiments.Env, obs []core.Observation) error {
 	if err != nil {
 		return err
 	}
+	printLaunch(a)
+	return nil
+}
+
+func printLaunch(a *core.LaunchAnalysis) {
 	fmt.Println("Figure 6: probability of picking a satellite from a launch vs launch date")
 	fmt.Printf("mean Pearson r (excluding %v): %.2f (paper: 0.41)\n", a.Excluded, a.MeanPearson)
-	for name, r := range a.Pearson {
-		fmt.Printf("%s: r=%.2f\n", name, r)
+	// PerTerminal and Pearson are maps; iterate sorted so repeated runs
+	// diff clean.
+	names := make([]string, 0, len(a.PerTerminal))
+	for name := range a.PerTerminal {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if r, ok := a.Pearson[name]; ok {
+			fmt.Printf("%s: r=%.2f\n", name, r)
+		}
 	}
 	fmt.Println("terminal\tlaunch_month\tpicked\tavailable\tratio")
-	for name, bins := range a.PerTerminal {
-		for _, b := range bins {
+	for _, name := range names {
+		for _, b := range a.PerTerminal[name] {
 			fmt.Printf("%s\t%s\t%d\t%d\t%.4f\n", name, b.Month.Format("2006-01"), b.Picked, b.Available, b.Ratio)
 		}
 	}
-	return nil
 }
 
 func runFig7(env *experiments.Env, obs []core.Observation) error {
@@ -349,6 +389,11 @@ func runFig7(env *experiments.Env, obs []core.Observation) error {
 	if err != nil {
 		return err
 	}
+	printSunlit(a)
+	return nil
+}
+
+func printSunlit(a *core.SunlitAnalysis) {
 	fmt.Println("Figure 7 / §5.3: sunlit vs dark satellites")
 	fmt.Printf("mixed slots (>=1 sunlit and >=1 dark): %d\n", a.MixedSlots)
 	fmt.Printf("sunlit picked in mixed slots: %.1f%% (paper: 72.3%%)\n", a.SunlitPickRate*100)
@@ -356,7 +401,48 @@ func runFig7(env *experiments.Env, obs []core.Observation) error {
 	fmt.Printf("chosen dark above 60 deg AOE: %.0f%% (paper: 82%%); chosen sunlit: %.0f%% (paper: 54%%)\n",
 		a.HighAOEFracDark*100, a.HighAOEFracSunlit*100)
 	fmt.Printf("median chosen-dark AOE minus chosen-sunlit: %.1f deg (paper: ~29)\n", a.DarkChosenAOELiftDeg)
+}
+
+// runStream regenerates every §5 analysis in one pass of the streaming
+// pipeline: campaign records flow straight into the incremental
+// accumulators, so no observation slice ever materializes. Outputs are
+// bit-identical to the fig4–fig7 batch path over the same campaign.
+func runStream(env *experiments.Env, slots int) error {
+	fmt.Printf("streaming pipeline: one-pass §5 analyses + §6 dataset over a %d-slot campaign\n", slots)
+	start := time.Now()
+	res, err := env.StreamAnalyses(slots)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single pass in %.1fs; dataset rows: %d\n", time.Since(start).Seconds(), len(res.Dataset.X))
+	printCampaignStats(res.Stats)
+	fmt.Println()
+	printAOE(res.AOE)
+	fmt.Println()
+	printAzimuth(res.Azimuth)
+	fmt.Println()
+	printLaunch(res.Launch)
+	fmt.Println()
+	printSunlit(res.Sunlit)
 	return nil
+}
+
+// printCampaignStats surfaces what the campaign dropped on the way to
+// the analyses — previously discarded silently.
+func printCampaignStats(st *core.CampaignStats) {
+	fmt.Printf("# campaign: %d records (%d slots x %d terminals), %d served, %d dropped\n",
+		st.Records, st.Slots, st.Terminals, st.Served, st.Dropped())
+	if len(st.Skips) == 0 {
+		return
+	}
+	reasons := make([]string, 0, len(st.Skips))
+	for r := range st.Skips {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Printf("#   %6d x %s\n", st.Skips[r], r)
+	}
 }
 
 func runFig8(env *experiments.Env, obs []core.Observation, fullGrid bool, saveMdl string) error {

@@ -48,10 +48,16 @@ func run(scale string, seed int64, slots int, tlePath string) error {
 		fmt.Fprintf(os.Stderr, "wrote %d element sets to %s\n", env.Cons.Len(), tlePath)
 	}
 
-	var allocs []scheduler.Allocation
+	// Stream the log slot by slot: the run is O(1) in memory however
+	// long the simulation, and output appears as it is produced.
+	aw := traceio.NewAllocationWriter(os.Stdout)
 	start := env.Start()
 	for i := 0; i < slots; i++ {
-		allocs = append(allocs, env.Sched.Allocate(start.Add(time.Duration(i)*scheduler.Period))...)
+		for _, a := range env.Sched.Allocate(start.Add(time.Duration(i) * scheduler.Period)) {
+			if err := aw.Write(a); err != nil {
+				return err
+			}
+		}
 	}
-	return traceio.WriteAllocations(os.Stdout, allocs)
+	return aw.Flush()
 }

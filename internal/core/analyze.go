@@ -2,11 +2,18 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/stats"
 )
+
+// The §5 analyses come in two shapes: incremental accumulators (see
+// accumulate.go) that consume a stream of observations one at a time,
+// and the batch functions below, which are thin wrappers feeding a
+// slice through the matching accumulator. The wrappers exist for
+// callers that already hold all observations; anything operating at
+// campaign scale should push into the accumulators directly (e.g.
+// through internal/pipeline) and never materialize the slice.
 
 // TerminalCDF pairs the available-vs-chosen empirical CDFs for one
 // terminal — the solid and dotted line of one color in Figures 4/5/7.
@@ -16,30 +23,6 @@ type TerminalCDF struct {
 	Chosen          [][2]float64
 	MedianAvailable float64
 	MedianChosen    float64
-}
-
-// splitByTerminal groups observations and drops slots without a chosen
-// satellite.
-func splitByTerminal(obs []Observation) (map[string][]Observation, []string, error) {
-	if len(obs) == 0 {
-		return nil, nil, fmt.Errorf("core: no observations")
-	}
-	m := map[string][]Observation{}
-	for _, o := range obs {
-		if _, ok := o.Chosen(); !ok {
-			continue
-		}
-		m[o.Terminal] = append(m[o.Terminal], o)
-	}
-	if len(m) == 0 {
-		return nil, nil, fmt.Errorf("core: no observations with an identified chosen satellite")
-	}
-	names := make([]string, 0, len(m))
-	for n := range m {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return m, names, nil
 }
 
 // AOEAnalysis reproduces Figure 4: the angle-of-elevation distribution
@@ -55,55 +38,12 @@ type AOEAnalysis struct {
 	HighBandAvailableFrac float64
 }
 
-// AnalyzeAOE computes the Figure 4 series.
+// AnalyzeAOE computes the Figure 4 series (batch wrapper over
+// AOEAccumulator).
 func AnalyzeAOE(obs []Observation, cdfPoints int) (*AOEAnalysis, error) {
-	byTerm, names, err := splitByTerminal(obs)
-	if err != nil {
-		return nil, err
-	}
-	out := &AOEAnalysis{}
-	var allChosen, allAvail []float64
-	for _, name := range names {
-		var avail, chosen []float64
-		for _, o := range byTerm[name] {
-			c, _ := o.Chosen()
-			chosen = append(chosen, c.ElevationDeg)
-			for _, a := range o.Available {
-				avail = append(avail, a.ElevationDeg)
-			}
-		}
-		tc, err := buildCDF(name, avail, chosen, cdfPoints)
-		if err != nil {
-			return nil, err
-		}
-		out.PerTerminal = append(out.PerTerminal, tc)
-		out.MedianLiftDeg += tc.MedianChosen - tc.MedianAvailable
-		allChosen = append(allChosen, chosen...)
-		allAvail = append(allAvail, avail...)
-	}
-	out.MedianLiftDeg /= float64(len(out.PerTerminal))
-	high := func(v float64) bool { return v >= 45 }
-	out.HighBandChosenFrac = stats.Proportion(allChosen, high)
-	out.HighBandAvailableFrac = stats.Proportion(allAvail, high)
-	return out, nil
-}
-
-func buildCDF(name string, avail, chosen []float64, points int) (TerminalCDF, error) {
-	ea, err := stats.NewECDF(avail)
-	if err != nil {
-		return TerminalCDF{}, fmt.Errorf("core: %s available: %w", name, err)
-	}
-	ec, err := stats.NewECDF(chosen)
-	if err != nil {
-		return TerminalCDF{}, fmt.Errorf("core: %s chosen: %w", name, err)
-	}
-	return TerminalCDF{
-		Terminal:        name,
-		Available:       ea.Points(points),
-		Chosen:          ec.Points(points),
-		MedianAvailable: stats.Median(avail),
-		MedianChosen:    stats.Median(chosen),
-	}, nil
+	acc := NewAOEAccumulator(cdfPoints)
+	feedAll(acc, obs)
+	return acc.Finalize()
 }
 
 // AzimuthAnalysis reproduces Figure 5: chosen azimuths skew north
@@ -121,37 +61,12 @@ type AzimuthAnalysis struct {
 	NWChosenFrac map[string]float64
 }
 
-// AnalyzeAzimuth computes the Figure 5 series.
+// AnalyzeAzimuth computes the Figure 5 series (batch wrapper over
+// AzimuthAccumulator).
 func AnalyzeAzimuth(obs []Observation, cdfPoints int) (*AzimuthAnalysis, error) {
-	byTerm, names, err := splitByTerminal(obs)
-	if err != nil {
-		return nil, err
-	}
-	out := &AzimuthAnalysis{
-		NorthChosenFrac:    map[string]float64{},
-		NorthAvailableFrac: map[string]float64{},
-		NWChosenFrac:       map[string]float64{},
-	}
-	for _, name := range names {
-		var avail, chosen []float64
-		for _, o := range byTerm[name] {
-			c, _ := o.Chosen()
-			chosen = append(chosen, c.AzimuthDeg)
-			for _, a := range o.Available {
-				avail = append(avail, a.AzimuthDeg)
-			}
-		}
-		tc, err := buildCDF(name, avail, chosen, cdfPoints)
-		if err != nil {
-			return nil, err
-		}
-		out.PerTerminal = append(out.PerTerminal, tc)
-		north := func(az float64) bool { return isNorth(az) }
-		out.NorthChosenFrac[name] = stats.Proportion(chosen, north)
-		out.NorthAvailableFrac[name] = stats.Proportion(avail, north)
-		out.NWChosenFrac[name] = stats.Proportion(chosen, func(az float64) bool { return quadrant(az) == "NW" })
-	}
-	return out, nil
+	acc := NewAzimuthAccumulator(cdfPoints)
+	feedAll(acc, obs)
+	return acc.Finalize()
 }
 
 // LaunchBin is one year-month launch batch's pick statistics.
@@ -175,69 +90,13 @@ type LaunchAnalysis struct {
 	Excluded []string
 }
 
-// AnalyzeLaunch computes the Figure 6 series. excluded names terminals
-// to keep out of the mean correlation (the paper excludes New York).
+// AnalyzeLaunch computes the Figure 6 series (batch wrapper over
+// LaunchAccumulator). excluded names terminals to keep out of the mean
+// correlation (the paper excludes New York).
 func AnalyzeLaunch(obs []Observation, excluded ...string) (*LaunchAnalysis, error) {
-	byTerm, names, err := splitByTerminal(obs)
-	if err != nil {
-		return nil, err
-	}
-	skip := map[string]bool{}
-	for _, e := range excluded {
-		skip[e] = true
-	}
-	out := &LaunchAnalysis{
-		PerTerminal: map[string][]LaunchBin{},
-		Pearson:     map[string]float64{},
-		Excluded:    excluded,
-	}
-	n := 0
-	for _, name := range names {
-		bins := map[time.Time]*LaunchBin{}
-		for _, o := range byTerm[name] {
-			c, _ := o.Chosen()
-			for _, a := range o.Available {
-				key := monthOf(a.LaunchDate)
-				b := bins[key]
-				if b == nil {
-					b = &LaunchBin{Month: key}
-					bins[key] = b
-				}
-				b.Available++
-			}
-			b := bins[monthOf(c.LaunchDate)]
-			b.Picked++
-		}
-		list := make([]LaunchBin, 0, len(bins))
-		for _, b := range bins {
-			if b.Available > 0 {
-				b.Ratio = float64(b.Picked) / float64(b.Available)
-			}
-			list = append(list, *b)
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i].Month.Before(list[j].Month) })
-		out.PerTerminal[name] = list
-
-		if len(list) >= 2 {
-			x := make([]float64, len(list))
-			y := make([]float64, len(list))
-			for i, b := range list {
-				x[i] = b.Month.Sub(list[0].Month).Hours() / (24 * 30.44)
-				y[i] = b.Ratio
-			}
-			if r, err := stats.Pearson(x, y); err == nil {
-				out.Pearson[name] = r
-				if !skip[name] {
-					out.MeanPearson += r
-					n++
-				}
-			}
-		}
-	}
-	if n > 0 {
-		out.MeanPearson /= float64(n)
-	}
-	return out, nil
+	acc := NewLaunchAccumulator(excluded...)
+	feedAll(acc, obs)
+	return acc.Finalize()
 }
 
 func monthOf(t time.Time) time.Time {
@@ -276,81 +135,37 @@ type SunlitAnalysis struct {
 	DarkChosenAOELiftDeg float64
 }
 
-// AnalyzeSunlit computes the Figure 7 series over mixed slots.
+// AnalyzeSunlit computes the Figure 7 series over mixed slots (batch
+// wrapper over SunlitAccumulator).
 func AnalyzeSunlit(obs []Observation, cdfPoints int) (*SunlitAnalysis, error) {
-	byTerm, names, err := splitByTerminal(obs)
+	acc := NewSunlitAccumulator(cdfPoints)
+	feedAll(acc, obs)
+	return acc.Finalize()
+}
+
+// feedAll pushes a slice through a consumer. The §5 accumulators never
+// return Add errors, so none can surface here; consumers that do error
+// (e.g. DatasetBuilder) are fed explicitly by their wrappers.
+func feedAll(acc ObservationConsumer, obs []Observation) {
+	for i := range obs {
+		_ = acc.Add(obs[i])
+	}
+}
+
+func buildCDF(name string, avail, chosen []float64, points int) (TerminalCDF, error) {
+	ea, err := stats.NewECDF(avail)
 	if err != nil {
-		return nil, err
+		return TerminalCDF{}, fmt.Errorf("core: %s available: %w", name, err)
 	}
-	out := &SunlitAnalysis{MinDarkShareWhenDarkPicked: 1}
-	var darkChosenAll, sunlitChosenAll []float64
-	sunlitPicks := 0
-	darkPicked := false
-	for _, name := range names {
-		var dc, sc, da, sa []float64
-		for _, o := range byTerm[name] {
-			nDark, nSunlit := 0, 0
-			for _, a := range o.Available {
-				if a.Sunlit {
-					nSunlit++
-				} else {
-					nDark++
-				}
-			}
-			if nDark == 0 || nSunlit == 0 {
-				continue // not a mixed slot
-			}
-			out.MixedSlots++
-			c, _ := o.Chosen()
-			for _, a := range o.Available {
-				if a.Sunlit {
-					sa = append(sa, a.ElevationDeg)
-				} else {
-					da = append(da, a.ElevationDeg)
-				}
-			}
-			if c.Sunlit {
-				sunlitPicks++
-				sc = append(sc, c.ElevationDeg)
-				sunlitChosenAll = append(sunlitChosenAll, c.ElevationDeg)
-			} else {
-				darkPicked = true
-				dc = append(dc, c.ElevationDeg)
-				darkChosenAll = append(darkChosenAll, c.ElevationDeg)
-				share := float64(nDark) / float64(nDark+nSunlit)
-				if share < out.MinDarkShareWhenDarkPicked {
-					out.MinDarkShareWhenDarkPicked = share
-				}
-			}
-		}
-		cdfs := SunlitCDFs{Terminal: name}
-		// Some series can legitimately be empty (a terminal may never
-		// pick a dark satellite); only build the non-empty ones.
-		if e, err := stats.NewECDF(dc); err == nil {
-			cdfs.DarkChosen = e.Points(cdfPoints)
-		}
-		if e, err := stats.NewECDF(sc); err == nil {
-			cdfs.SunlitChosen = e.Points(cdfPoints)
-		}
-		if e, err := stats.NewECDF(da); err == nil {
-			cdfs.DarkAvail = e.Points(cdfPoints)
-		}
-		if e, err := stats.NewECDF(sa); err == nil {
-			cdfs.SunlitAvail = e.Points(cdfPoints)
-		}
-		out.PerTerminal = append(out.PerTerminal, cdfs)
+	ec, err := stats.NewECDF(chosen)
+	if err != nil {
+		return TerminalCDF{}, fmt.Errorf("core: %s chosen: %w", name, err)
 	}
-	if out.MixedSlots > 0 {
-		out.SunlitPickRate = float64(sunlitPicks) / float64(out.MixedSlots)
-	}
-	if !darkPicked {
-		out.MinDarkShareWhenDarkPicked = 0
-	}
-	high60 := func(v float64) bool { return v > 60 }
-	out.HighAOEFracDark = stats.Proportion(darkChosenAll, high60)
-	out.HighAOEFracSunlit = stats.Proportion(sunlitChosenAll, high60)
-	if len(darkChosenAll) > 0 && len(sunlitChosenAll) > 0 {
-		out.DarkChosenAOELiftDeg = stats.Median(darkChosenAll) - stats.Median(sunlitChosenAll)
-	}
-	return out, nil
+	return TerminalCDF{
+		Terminal:        name,
+		Available:       ea.Points(points),
+		Chosen:          ec.Points(points),
+		MedianAvailable: stats.Median(avail),
+		MedianChosen:    stats.Median(chosen),
+	}, nil
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/constellation"
@@ -41,6 +40,33 @@ type CampaignConfig struct {
 	Workers int
 }
 
+// validate rejects unusable configs with the historical messages.
+func (c *CampaignConfig) validate() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("core: nil scheduler")
+	}
+	if c.Identifier == nil {
+		return fmt.Errorf("core: nil identifier")
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("core: campaign needs slots > 0, got %d", c.Slots)
+	}
+	return nil
+}
+
+// resolveWorkers turns the Workers knob into an effective pool size
+// for nTerms terminals.
+func (c *CampaignConfig) resolveWorkers(nTerms int) int {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nTerms {
+		workers = nTerms
+	}
+	return workers
+}
+
 // SlotRecord is one slot × terminal campaign outcome.
 type SlotRecord struct {
 	Observation
@@ -60,6 +86,11 @@ type CampaignResult struct {
 	Records []SlotRecord
 	// Identification validation (non-oracle runs).
 	Attempted, Correct, Failed int
+	// Skips histograms the non-empty SkipReasons across Records.
+	Skips map[string]int
+
+	obsOnce sync.Once
+	obs     []Observation
 }
 
 // Accuracy returns the identification accuracy over attempted slots.
@@ -71,50 +102,44 @@ func (r *CampaignResult) Accuracy() float64 {
 }
 
 // Observations extracts the per-slot observations with a valid chosen
-// satellite, ready for the §5 analyses and §6 model.
+// satellite, ready for the §5 analyses and §6 model. The slice is
+// built once and cached — repeated calls return the same backing
+// array, so treat it as read-only.
 func (r *CampaignResult) Observations() []Observation {
-	out := make([]Observation, 0, len(r.Records))
-	for _, rec := range r.Records {
-		if rec.ChosenIdx >= 0 {
-			out = append(out, rec.Observation)
+	r.obsOnce.Do(func() {
+		r.obs = make([]Observation, 0, len(r.Records))
+		for _, rec := range r.Records {
+			if rec.ChosenIdx >= 0 {
+				r.obs = append(r.obs, rec.Observation)
+			}
 		}
-	}
-	return out
+	})
+	return r.obs
 }
 
-// RunCampaign executes the campaign. Long campaigns are cancellable
-// through ctx; on cancellation the partial result is discarded and
-// ctx's error returned.
+// RunCampaign executes the campaign and materializes every record —
+// the batch entry point, now a thin wrapper over RunCampaignStream
+// (which long campaigns should use directly: it runs in O(1) memory
+// in the slot count). Long campaigns are cancellable through ctx; on
+// cancellation the partial result is discarded and ctx's error
+// returned.
 func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
-	if cfg.Scheduler == nil {
-		return nil, fmt.Errorf("core: nil scheduler")
+	res := &CampaignResult{}
+	if cfg.Slots > 0 && cfg.Scheduler != nil {
+		res.Records = make([]SlotRecord, 0, cfg.Slots*len(cfg.Scheduler.Terminals()))
 	}
-	if cfg.Identifier == nil {
-		return nil, fmt.Errorf("core: nil identifier")
+	stats, err := RunCampaignStream(ctx, cfg, func(rec SlotRecord) error {
+		res.Records = append(res.Records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Slots <= 0 {
-		return nil, fmt.Errorf("core: campaign needs slots > 0, got %d", cfg.Slots)
-	}
-	if cfg.ResetEvery == 0 {
-		cfg.ResetEvery = 40
-	}
-	terms := cfg.Scheduler.Terminals()
-	for _, t := range terms {
-		if err := validateVantagePoint(t.VantagePoint); err != nil {
-			return nil, err
-		}
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(terms) {
-		workers = len(terms)
-	}
-	if workers <= 1 {
-		return runCampaignSerial(ctx, cfg, terms)
-	}
-	return runCampaignParallel(ctx, cfg, terms, workers)
+	res.Attempted = stats.Attempted
+	res.Correct = stats.Correct
+	res.Failed = stats.Failed
+	res.Skips = stats.Skips
+	return res, nil
 }
 
 // runSlotTerminal produces the record for one (slot, terminal) cell.
@@ -180,164 +205,10 @@ func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstructio
 	return rec
 }
 
-// runCampaignSerial is the single-threaded engine: one loop over
-// slots × terminals, checking ctx once per slot.
-func runCampaignSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal) (*CampaignResult, error) {
-	// Per-terminal dish state; one matcher serves the whole run.
-	maps := make(map[string]*obstruction.Map, len(terms))
-	for _, t := range terms {
-		maps[t.Name] = obstruction.New()
-	}
-	matcher := &dtw.Matcher{}
-
-	res := &CampaignResult{}
-	start := scheduler.EpochStart(cfg.Start)
-	for slot := 0; slot < cfg.Slots; slot++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
-		snap := cfg.Identifier.cons.Snapshot(slotStart)
-		allocs := cfg.Scheduler.Allocate(slotStart)
-
-		if cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
-			for _, m := range maps {
-				m.Reset()
-			}
-		}
-
-		for _, t := range terms {
-			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, snap, allocs,
-				&res.Attempted, &res.Correct, &res.Failed)
-			res.Records = append(res.Records, rec)
-		}
-	}
-	return res, nil
-}
-
 // slotItem is one slot's ground-truth inputs, produced serially and
 // fanned out to every worker.
 type slotItem struct {
 	slot      int
 	slotStart time.Time
 	allocs    []scheduler.Allocation
-}
-
-// runCampaignParallel is the concurrent engine. Division of labor:
-//
-//   - The producer runs the scheduler serially in slot order — the
-//     controller is stateful (hidden load walk, score-noise RNG), so
-//     its call sequence must match the serial engine exactly.
-//   - Terminals are sharded across workers by index (terminal i goes
-//     to worker i % workers), so each terminal's obstruction map is
-//     owned by exactly one goroutine and evolves in slot order.
-//   - Constellation snapshots are pure and shared: computed once per
-//     slot by whichever worker needs it first, released after the last
-//     terminal consumes it so long campaigns stay bounded in memory.
-//   - Records land in a preallocated slice at (slot*nTerms + terminal),
-//     which is byte-identical to the serial engine's append order, and
-//     counters merge after the pool drains.
-func runCampaignParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, workers int) (*CampaignResult, error) {
-	nTerms := len(terms)
-	records := make([]SlotRecord, cfg.Slots*nTerms)
-
-	// Lazily computed, refcounted per-slot snapshots.
-	snaps := make([][]constellation.SatState, cfg.Slots)
-	snapOnce := make([]sync.Once, cfg.Slots)
-	snapLeft := make([]atomic.Int32, cfg.Slots)
-	for i := range snapLeft {
-		snapLeft[i].Store(int32(nTerms))
-	}
-	start := scheduler.EpochStart(cfg.Start)
-	slotTime := func(slot int) time.Time {
-		return start.Add(time.Duration(slot) * scheduler.Period)
-	}
-	getSnap := func(slot int) []constellation.SatState {
-		snapOnce[slot].Do(func() {
-			snaps[slot] = cfg.Identifier.cons.Snapshot(slotTime(slot))
-		})
-		return snaps[slot]
-	}
-	releaseSnap := func(slot int) {
-		if snapLeft[slot].Add(-1) == 0 {
-			snaps[slot] = nil
-		}
-	}
-
-	type counters struct{ attempted, correct, failed int }
-	chans := make([]chan slotItem, workers)
-	for w := range chans {
-		// A small buffer decouples the producer from the slowest
-		// worker without letting snapshots pile up.
-		chans[w] = make(chan slotItem, 4)
-	}
-	tallies := make([]counters, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Dish state for the terminals this worker owns, plus the
-			// worker's own matcher (scratch buffers are not shareable).
-			maps := make(map[string]*obstruction.Map)
-			for ti := w; ti < nTerms; ti += workers {
-				maps[terms[ti].Name] = obstruction.New()
-			}
-			matcher := &dtw.Matcher{}
-			var c counters
-			for item := range chans[w] {
-				if ctx.Err() != nil {
-					continue // drain; the run is abandoned
-				}
-				if cfg.ResetEvery > 0 && item.slot%cfg.ResetEvery == 0 && item.slot > 0 {
-					for _, m := range maps {
-						m.Reset()
-					}
-				}
-				for ti := w; ti < nTerms; ti += workers {
-					t := terms[ti]
-					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, item.slotStart,
-						getSnap(item.slot), item.allocs,
-						&c.attempted, &c.correct, &c.failed)
-					releaseSnap(item.slot)
-					records[item.slot*nTerms+ti] = rec
-				}
-			}
-			tallies[w] = c
-		}(w)
-	}
-
-	var cancelErr error
-produce:
-	for slot := 0; slot < cfg.Slots; slot++ {
-		if err := ctx.Err(); err != nil {
-			cancelErr = err
-			break
-		}
-		t := slotTime(slot)
-		item := slotItem{slot: slot, slotStart: t, allocs: cfg.Scheduler.Allocate(t)}
-		for _, ch := range chans {
-			select {
-			case ch <- item:
-			case <-ctx.Done():
-				cancelErr = ctx.Err()
-				break produce
-			}
-		}
-	}
-	for _, ch := range chans {
-		close(ch)
-	}
-	wg.Wait()
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-
-	res := &CampaignResult{Records: records}
-	for _, c := range tallies {
-		res.Attempted += c.attempted
-		res.Correct += c.correct
-		res.Failed += c.failed
-	}
-	return res, nil
 }

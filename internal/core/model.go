@@ -10,42 +10,69 @@ import (
 	"repro/internal/ml"
 )
 
-// BuildDataset converts observations into the §6 supervised problem:
-// X = [local hour, per-cluster availability counts], y = cluster of
-// the chosen satellite. Slots without an identified chosen satellite
-// are skipped.
-func BuildDataset(obs []Observation) (*ml.Dataset, error) {
-	d := &ml.Dataset{NumClasses: features.NumClusters}
-	for _, o := range obs {
-		chosen, ok := o.Chosen()
-		if !ok {
-			continue
-		}
-		sats := make([]features.Sat, len(o.Available))
-		for i, a := range o.Available {
-			sats[i] = features.Sat{
-				AzimuthDeg:   a.AzimuthDeg,
-				ElevationDeg: a.ElevationDeg,
-				AgeYears:     a.AgeYears,
-				Sunlit:       a.Sunlit,
-			}
-		}
-		slot, err := features.Cluster(sats)
-		if err != nil {
-			return nil, fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
-		}
-		key, err := slot.KeyOf(o.ChosenIdx)
-		if err != nil {
-			return nil, fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
-		}
-		_ = chosen
-		d.X = append(d.X, slot.Vector(o.LocalHour))
-		d.Y = append(d.Y, key.Index())
+// DatasetBuilder converts an observation stream into the §6
+// supervised problem incrementally: X = [local hour, per-cluster
+// availability counts], y = cluster of the chosen satellite. Slots
+// without an identified chosen satellite are skipped. The builder
+// holds only the growing dataset — one feature vector per usable
+// observation — never the observations themselves.
+type DatasetBuilder struct {
+	d    *ml.Dataset
+	sats []features.Sat // scratch, reused across Adds
+}
+
+// NewDatasetBuilder returns an empty builder.
+func NewDatasetBuilder() *DatasetBuilder {
+	return &DatasetBuilder{d: &ml.Dataset{NumClasses: features.NumClusters}}
+}
+
+// Add folds in one observation; it implements ObservationConsumer.
+func (b *DatasetBuilder) Add(o Observation) error {
+	if _, ok := o.Chosen(); !ok {
+		return nil
 	}
-	if len(d.X) == 0 {
+	b.sats = b.sats[:0]
+	for _, a := range o.Available {
+		b.sats = append(b.sats, features.Sat{
+			AzimuthDeg:   a.AzimuthDeg,
+			ElevationDeg: a.ElevationDeg,
+			AgeYears:     a.AgeYears,
+			Sunlit:       a.Sunlit,
+		})
+	}
+	slot, err := features.Cluster(b.sats)
+	if err != nil {
+		return fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
+	}
+	key, err := slot.KeyOf(o.ChosenIdx)
+	if err != nil {
+		return fmt.Errorf("core: slot %v at %s: %w", o.SlotStart, o.Terminal, err)
+	}
+	b.d.X = append(b.d.X, slot.Vector(o.LocalHour))
+	b.d.Y = append(b.d.Y, key.Index())
+	return nil
+}
+
+// Rows reports how many usable observations have been folded in.
+func (b *DatasetBuilder) Rows() int { return len(b.d.X) }
+
+// Finalize returns the dataset. The builder must not be reused after.
+func (b *DatasetBuilder) Finalize() (*ml.Dataset, error) {
+	if len(b.d.X) == 0 {
 		return nil, fmt.Errorf("core: no usable observations for the model")
 	}
-	return d, nil
+	return b.d, nil
+}
+
+// BuildDataset is the batch wrapper over DatasetBuilder.
+func BuildDataset(obs []Observation) (*ml.Dataset, error) {
+	b := NewDatasetBuilder()
+	for i := range obs {
+		if err := b.Add(obs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finalize()
 }
 
 // BaselineRanker is the paper's baseline: predict the cluster(s) with

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/dtw"
+	"repro/internal/obstruction"
+	"repro/internal/scheduler"
+)
+
+// EmitFunc receives one campaign record. Implementations must not
+// retain rec's slices past the call; copy what outlives it. Returning
+// an error aborts the campaign and surfaces the error from
+// RunCampaignStream.
+type EmitFunc func(rec SlotRecord) error
+
+// CampaignStats summarizes a streamed campaign without retaining any
+// records, so arbitrarily long campaigns report in O(1) memory.
+type CampaignStats struct {
+	Slots, Terminals int
+	// Records is the number of records emitted (slots × terminals on a
+	// complete run).
+	Records int
+	// Served counts records with a valid chosen satellite — the rows
+	// the §5/§6 analyses consume.
+	Served int
+	// Identification validation counters (non-oracle runs), identical
+	// to the batch CampaignResult's.
+	Attempted, Correct, Failed int
+	// Skips histograms every non-empty SkipReason, surfacing what the
+	// batch path used to discard silently.
+	Skips map[string]int
+}
+
+// Accuracy returns the identification accuracy over attempted slots.
+func (s *CampaignStats) Accuracy() float64 {
+	if s.Attempted == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Attempted)
+}
+
+// Dropped counts emitted records without a usable chosen satellite.
+func (s *CampaignStats) Dropped() int { return s.Records - s.Served }
+
+// observe folds one emitted record into the stats. Called from exactly
+// one goroutine (the serial loop or the parallel emitter), in emission
+// order.
+func (s *CampaignStats) observe(rec *SlotRecord) {
+	s.Records++
+	if rec.ChosenIdx >= 0 {
+		s.Served++
+	}
+	if rec.SkipReason != "" {
+		if s.Skips == nil {
+			s.Skips = map[string]int{}
+		}
+		s.Skips[rec.SkipReason]++
+	}
+}
+
+// RunCampaignStream executes the campaign, pushing each SlotRecord to
+// emit in deterministic (slot, terminal) order — the exact sequence
+// the batch RunCampaign materializes — without retaining records. With
+// cfg.Workers > 1 the concurrent engine runs behind a bounded reorder
+// window, so steady-state memory is O(workers × terminals), not
+// O(slots): campaigns far larger than memory stream through.
+//
+// On ctx cancellation or an emit error the partial stream stops,
+// already-emitted records stand, and the error is returned with nil
+// stats.
+func RunCampaignStream(ctx context.Context, cfg CampaignConfig, emit EmitFunc) (*CampaignStats, error) {
+	terms, workers, err := prepareCampaign(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		return streamSerial(ctx, cfg, terms, emit)
+	}
+	return streamParallel(ctx, cfg, terms, workers, emit)
+}
+
+// prepareCampaign validates the config, applies defaults, and resolves
+// the worker count. Shared by the streaming engine and the batch
+// wrapper so the two cannot diverge on validation.
+func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	if cfg.ResetEvery == 0 {
+		cfg.ResetEvery = 40
+	}
+	terms := cfg.Scheduler.Terminals()
+	for _, t := range terms {
+		if err := validateVantagePoint(t.VantagePoint); err != nil {
+			return nil, 0, err
+		}
+	}
+	workers := cfg.resolveWorkers(len(terms))
+	return terms, workers, nil
+}
+
+// streamSerial is the single-threaded engine: one loop over slots ×
+// terminals, checking ctx once per slot and emitting records as they
+// are produced. Live memory is one snapshot + one dish map per
+// terminal regardless of campaign length.
+func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, emit EmitFunc) (*CampaignStats, error) {
+	maps := make(map[string]*obstruction.Map, len(terms))
+	for _, t := range terms {
+		maps[t.Name] = obstruction.New()
+	}
+	matcher := &dtw.Matcher{}
+
+	stats := &CampaignStats{Slots: cfg.Slots, Terminals: len(terms)}
+	start := scheduler.EpochStart(cfg.Start)
+	for slot := 0; slot < cfg.Slots; slot++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
+		snap := cfg.Identifier.cons.Snapshot(slotStart)
+		allocs := cfg.Scheduler.Allocate(slotStart)
+
+		if cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
+			for _, m := range maps {
+				m.Reset()
+			}
+		}
+
+		for _, t := range terms {
+			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, snap, allocs,
+				&stats.Attempted, &stats.Correct, &stats.Failed)
+			stats.observe(&rec)
+			if err := emit(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// streamParallel is the concurrent streaming engine. Division of
+// labor, building on the batch parallel engine's invariants:
+//
+//   - The producer runs the scheduler serially in slot order — the
+//     controller is stateful (hidden load walk, score-noise RNG), so
+//     its call sequence must match the serial engine exactly.
+//   - Terminals are sharded across workers by index (terminal i goes
+//     to worker i % workers), so each terminal's obstruction map is
+//     owned by exactly one goroutine and evolves in slot order.
+//   - Records land in a reorder ring of `window` slots; a single
+//     emitter drains completed slots in order, so downstream consumers
+//     see exactly the serial (slot, terminal) sequence.
+//   - The producer takes a token per slot and the emitter returns it
+//     after the slot is fully emitted, bounding records, snapshots,
+//     and scheduler outputs in flight to the window — the whole
+//     campaign streams in O(window) memory however many slots it has.
+func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, workers int, emit EmitFunc) (*CampaignStats, error) {
+	nTerms := len(terms)
+	// Each worker channel buffers 4 slots; size the reorder window so
+	// the buffers plus in-flight slots never stall a worker that is
+	// ahead of the emitter.
+	window := workers*4 + 4
+	if window > cfg.Slots {
+		window = cfg.Slots
+	}
+
+	ring := make([][]SlotRecord, window)
+	for i := range ring {
+		ring[i] = make([]SlotRecord, nTerms)
+	}
+	// left[i] counts terminals still unprocessed for the slot currently
+	// occupying ring cell i; the worker that zeroes it announces the
+	// slot to the emitter.
+	left := make([]atomic.Int32, window)
+
+	// Lazily computed, refcounted snapshots, one ring cell per in-
+	// flight slot. The producer resets the refcount before dispatching
+	// a slot into a cell (the token guarantees the cell is free), and
+	// the last release nils the snapshot out.
+	snaps := make([]struct {
+		mu   sync.Mutex
+		snap []constellation.SatState
+	}, window)
+	snapLeft := make([]atomic.Int32, window)
+
+	start := scheduler.EpochStart(cfg.Start)
+	slotTime := func(slot int) time.Time {
+		return start.Add(time.Duration(slot) * scheduler.Period)
+	}
+	getSnap := func(slot int) []constellation.SatState {
+		c := &snaps[slot%window]
+		c.mu.Lock()
+		if c.snap == nil {
+			c.snap = cfg.Identifier.cons.Snapshot(slotTime(slot))
+		}
+		s := c.snap
+		c.mu.Unlock()
+		return s
+	}
+	releaseSnap := func(slot int) {
+		i := slot % window
+		if snapLeft[i].Add(-1) == 0 {
+			c := &snaps[i]
+			c.mu.Lock()
+			c.snap = nil
+			c.mu.Unlock()
+		}
+	}
+
+	// run cancels on upstream ctx, producer exhaustion is separate; an
+	// emit error must also stop the producer and workers.
+	run, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type counters struct{ attempted, correct, failed int }
+	chans := make([]chan slotItem, workers)
+	for w := range chans {
+		chans[w] = make(chan slotItem, 4)
+	}
+	doneSlots := make(chan int, window)
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	tallies := make([]counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			maps := make(map[string]*obstruction.Map)
+			for ti := w; ti < nTerms; ti += workers {
+				maps[terms[ti].Name] = obstruction.New()
+			}
+			matcher := &dtw.Matcher{}
+			var c counters
+			for item := range chans[w] {
+				if run.Err() != nil {
+					continue // drain; the stream is abandoned
+				}
+				if cfg.ResetEvery > 0 && item.slot%cfg.ResetEvery == 0 && item.slot > 0 {
+					for _, m := range maps {
+						m.Reset()
+					}
+				}
+				for ti := w; ti < nTerms; ti += workers {
+					t := terms[ti]
+					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, item.slotStart,
+						getSnap(item.slot), item.allocs,
+						&c.attempted, &c.correct, &c.failed)
+					releaseSnap(item.slot)
+					ring[item.slot%window][ti] = rec
+					if left[item.slot%window].Add(-1) == 0 {
+						doneSlots <- item.slot
+					}
+				}
+			}
+			tallies[w] = c
+		}(w)
+	}
+
+	// The emitter drains completed slots in slot order and pushes each
+	// record downstream, then returns the slot's token to the producer.
+	stats := &CampaignStats{Slots: cfg.Slots, Terminals: nTerms}
+	var emitErr error
+	var emitWG sync.WaitGroup
+	emitWG.Add(1)
+	go func() {
+		defer emitWG.Done()
+		completed := make(map[int]bool, window)
+		next := 0
+		for next < cfg.Slots {
+			select {
+			case s := <-doneSlots:
+				completed[s] = true
+			case <-run.Done():
+				return
+			}
+			for completed[next] {
+				delete(completed, next)
+				cell := ring[next%window]
+				for ti := range cell {
+					stats.observe(&cell[ti])
+					if err := emit(cell[ti]); err != nil {
+						emitErr = err
+						cancel()
+						return
+					}
+				}
+				next++
+				select {
+				case tokens <- struct{}{}:
+				case <-run.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var cancelErr error
+produce:
+	for slot := 0; slot < cfg.Slots; slot++ {
+		select {
+		case <-tokens:
+		case <-run.Done():
+			cancelErr = run.Err()
+			break produce
+		}
+		i := slot % window
+		left[i].Store(int32(nTerms))
+		snapLeft[i].Store(int32(nTerms))
+		t := slotTime(slot)
+		item := slotItem{slot: slot, slotStart: t, allocs: cfg.Scheduler.Allocate(t)}
+		for _, ch := range chans {
+			select {
+			case ch <- item:
+			case <-run.Done():
+				cancelErr = run.Err()
+				break produce
+			}
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	// On an abandoned run the emitter may be blocked waiting for slots
+	// that will never complete; cancel to release it. On a clean run
+	// every dispatched slot completes, so the emitter drains the tail
+	// on its own — cancelling early here would truncate the stream.
+	if cancelErr != nil || ctx.Err() != nil {
+		cancel()
+	}
+	emitWG.Wait()
+
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, c := range tallies {
+		stats.Attempted += c.attempted
+		stats.Correct += c.correct
+		stats.Failed += c.failed
+	}
+	return stats, nil
+}

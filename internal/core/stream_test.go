@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestStreamMatchesBatch is the streaming engine's core contract: the
+// emitted sequence equals the batch result's Records exactly — same
+// order, same content, same counters — at several worker counts, in
+// both oracle and measured mode.
+func TestStreamMatchesBatch(t *testing.T) {
+	setupFixture(t)
+	for _, oracle := range []bool{true, false} {
+		batch, err := RunCampaign(context.Background(), campaignCfg(t, 41, 1, oracle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			var streamed []SlotRecord
+			stats, err := RunCampaignStream(context.Background(), campaignCfg(t, 41, workers, oracle),
+				func(rec SlotRecord) error {
+					streamed = append(streamed, rec)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(streamed) != len(batch.Records) {
+				t.Fatalf("oracle=%v workers=%d: %d streamed != %d batch",
+					oracle, workers, len(streamed), len(batch.Records))
+			}
+			for i := range streamed {
+				if !reflect.DeepEqual(streamed[i], batch.Records[i]) {
+					t.Fatalf("oracle=%v workers=%d: record %d differs:\nstream: %+v\nbatch:  %+v",
+						oracle, workers, i, streamed[i], batch.Records[i])
+				}
+			}
+			if stats.Attempted != batch.Attempted || stats.Correct != batch.Correct || stats.Failed != batch.Failed {
+				t.Errorf("oracle=%v workers=%d: counters (%d,%d,%d) != batch (%d,%d,%d)",
+					oracle, workers, stats.Attempted, stats.Correct, stats.Failed,
+					batch.Attempted, batch.Correct, batch.Failed)
+			}
+			if stats.Records != len(batch.Records) {
+				t.Errorf("stats.Records = %d, want %d", stats.Records, len(batch.Records))
+			}
+			if stats.Served != len(batch.Observations()) {
+				t.Errorf("stats.Served = %d, want %d", stats.Served, len(batch.Observations()))
+			}
+			if !reflect.DeepEqual(stats.Skips, batch.Skips) {
+				t.Errorf("oracle=%v workers=%d: skips %v != batch %v", oracle, workers, stats.Skips, batch.Skips)
+			}
+			if stats.Dropped() != stats.Records-stats.Served {
+				t.Errorf("Dropped() inconsistent")
+			}
+		}
+	}
+}
+
+// TestStreamEmitErrorAborts proves an emit error stops the campaign —
+// serial and parallel — and surfaces verbatim.
+func TestStreamEmitErrorAborts(t *testing.T) {
+	setupFixture(t)
+	sentinel := fmt.Errorf("sink full")
+	for _, workers := range []int{1, 4} {
+		n := 0
+		stats, err := RunCampaignStream(context.Background(), campaignCfg(t, 43, workers, true),
+			func(SlotRecord) error {
+				n++
+				if n == 10 {
+					return sentinel
+				}
+				return nil
+			})
+		if err != sentinel {
+			t.Errorf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if stats != nil {
+			t.Errorf("workers=%d: aborted stream returned stats", workers)
+		}
+		if n != 10 {
+			t.Errorf("workers=%d: emit called %d times after error, want 10", workers, n)
+		}
+	}
+}
+
+// TestStreamCancellation mirrors the batch cancellation contract: a
+// pre-canceled context returns promptly with the context's error.
+func TestStreamCancellation(t *testing.T) {
+	setupFixture(t)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		stats, err := RunCampaignStream(ctx, campaignCfg(t, 44, workers, true), func(SlotRecord) error { return nil })
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if stats != nil {
+			t.Errorf("workers=%d: canceled stream returned stats", workers)
+		}
+	}
+}
+
+// TestObservationsCached guards the satellite fix: repeated calls
+// return the same backing slice instead of reallocating a copy.
+func TestObservationsCached(t *testing.T) {
+	setupFixture(t)
+	res, err := RunCampaign(context.Background(), campaignCfg(t, 45, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Observations(), res.Observations()
+	if len(a) == 0 {
+		t.Skip("no observations in fixture campaign")
+	}
+	if &a[0] != &b[0] {
+		t.Error("Observations() reallocated on the second call")
+	}
+	allocs := testing.AllocsPerRun(10, func() { res.Observations() })
+	if allocs != 0 {
+		t.Errorf("cached Observations() allocates %v per call", allocs)
+	}
+}

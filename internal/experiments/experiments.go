@@ -17,6 +17,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/netsim"
 	"repro/internal/obstruction"
+	"repro/internal/pipeline"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
 )
@@ -343,35 +344,41 @@ type IdentResult struct {
 	MedianMargin               float64
 }
 
-// IdentValidation runs a measured (non-oracle) campaign and scores the
-// identifications. naive switches to the nearest-endpoint ablation.
+// IdentValidation runs a measured (non-oracle) campaign through the
+// streaming pipeline and scores the identifications — records are
+// folded into the margin series as they arrive and never materialize.
+// naive switches to the nearest-endpoint ablation.
 func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
 	if slots == 0 {
 		slots = 125 // 125 slots x 4 terminals = 500 identifications
 	}
 	ident := *e.Ident
 	ident.UseNaiveMatcher = naive
-	res, err := core.RunCampaign(e.ctx(), core.CampaignConfig{
+	src := &pipeline.Campaign{Config: core.CampaignConfig{
 		Scheduler:  e.Sched,
 		Identifier: &ident,
 		Start:      e.Start(),
 		Slots:      slots,
 		Workers:    e.Workers,
-	})
-	if err != nil {
+	}}
+	var margins []float64
+	p := &pipeline.Pipeline{
+		Source: src,
+		Sinks: []pipeline.Sink{pipeline.SinkFunc(func(rec *pipeline.Record) error {
+			if rec.SkipReason == "" && rec.Margin > 0 {
+				margins = append(margins, rec.Margin)
+			}
+			return nil
+		})},
+	}
+	if err := p.Run(e.ctx()); err != nil {
 		return nil, err
 	}
-	var margins []float64
-	for _, r := range res.Records {
-		if r.SkipReason == "" && r.Margin > 0 {
-			margins = append(margins, r.Margin)
-		}
-	}
 	out := &IdentResult{
-		Attempted: res.Attempted,
-		Correct:   res.Correct,
-		Failed:    res.Failed,
-		Accuracy:  res.Accuracy(),
+		Attempted: src.Stats.Attempted,
+		Correct:   src.Stats.Correct,
+		Failed:    src.Stats.Failed,
+		Accuracy:  src.Stats.Accuracy(),
 	}
 	if len(margins) > 0 {
 		out.MedianMargin = stats.Median(margins)
@@ -379,23 +386,105 @@ func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
 	return out, nil
 }
 
-// Observations runs an oracle campaign and returns the §5/§6 inputs.
-func (e *Env) Observations(slots int) ([]core.Observation, error) {
+// CampaignSource returns a pipeline source for one of this
+// environment's campaigns, ready to wire into arbitrary stages and
+// sinks. slots 0 defaults to 500.
+func (e *Env) CampaignSource(slots int, oracle bool) *pipeline.Campaign {
 	if slots == 0 {
 		slots = 500
 	}
-	res, err := core.RunCampaign(e.ctx(), core.CampaignConfig{
+	return &pipeline.Campaign{Config: core.CampaignConfig{
 		Scheduler:  e.Sched,
 		Identifier: e.Ident,
 		Start:      e.Start(),
 		Slots:      slots,
-		Oracle:     true,
+		Oracle:     oracle,
 		Workers:    e.Workers,
-	})
+	}}
+}
+
+// StreamObservations drives one oracle campaign through the pipeline,
+// feeding every sink the chosen-only observation stream (the §5/§6
+// input rows), and returns the campaign's O(1)-memory summary —
+// including how many records were dropped on the way and why.
+func (e *Env) StreamObservations(slots int, sinks ...pipeline.Sink) (*core.CampaignStats, error) {
+	src := e.CampaignSource(slots, true)
+	p := &pipeline.Pipeline{
+		Source: src,
+		Stages: []pipeline.Stage{pipeline.ChosenOnly()},
+		Sinks:  sinks,
+	}
+	if err := p.Run(e.ctx()); err != nil {
+		return nil, err
+	}
+	return src.Stats, nil
+}
+
+// Observations runs an oracle campaign and returns the §5/§6 inputs
+// (batch wrapper over StreamObservations).
+func (e *Env) Observations(slots int) ([]core.Observation, error) {
+	obs, _, err := e.ObservationsWithStats(slots)
+	return obs, err
+}
+
+// ObservationsWithStats is Observations plus the campaign summary:
+// record and served-row totals and the skip-reason histogram behind
+// every dropped slot.
+func (e *Env) ObservationsWithStats(slots int) ([]core.Observation, *core.CampaignStats, error) {
+	collect := &pipeline.CollectObservations{}
+	st, err := e.StreamObservations(slots, collect)
+	if err != nil {
+		return nil, nil, err
+	}
+	return collect.Obs, st, nil
+}
+
+// StreamResult is one single-pass run of every §5 analysis and the §6
+// dataset build over a streaming campaign: no record or observation
+// slice ever materializes, so the campaign length is bounded by time,
+// not memory.
+type StreamResult struct {
+	Stats   *core.CampaignStats
+	AOE     *core.AOEAnalysis
+	Azimuth *core.AzimuthAnalysis
+	Launch  *core.LaunchAnalysis
+	Sunlit  *core.SunlitAnalysis
+	Dataset *ml.Dataset
+}
+
+// StreamAnalyses runs one oracle campaign and computes every §5
+// analysis plus the §6 dataset in a single streaming pass. The outputs
+// are bit-identical to running Observations and the batch analyzers
+// (the pipeline golden tests hold this), at O(1) memory in the slot
+// count.
+func (e *Env) StreamAnalyses(slots int) (*StreamResult, error) {
+	aoe := core.NewAOEAccumulator(27)
+	az := core.NewAzimuthAccumulator(27)
+	la := core.NewLaunchAccumulator("New York")
+	su := core.NewSunlitAccumulator(27)
+	ds := core.NewDatasetBuilder()
+	st, err := e.StreamObservations(slots,
+		pipeline.Feed(aoe), pipeline.Feed(az), pipeline.Feed(la), pipeline.Feed(su), pipeline.Feed(ds))
 	if err != nil {
 		return nil, err
 	}
-	return res.Observations(), nil
+	out := &StreamResult{Stats: st}
+	if out.AOE, err = aoe.Finalize(); err != nil {
+		return nil, err
+	}
+	if out.Azimuth, err = az.Finalize(); err != nil {
+		return nil, err
+	}
+	if out.Launch, err = la.Finalize(); err != nil {
+		return nil, err
+	}
+	if out.Sunlit, err = su.Finalize(); err != nil {
+		return nil, err
+	}
+	if out.Dataset, err = ds.Finalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Fig4 computes the angle-of-elevation analysis.

@@ -1,0 +1,338 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeRecords fabricates a deterministic mixed stream: two terminals,
+// every third record skipped.
+func fakeRecords(n int) []core.SlotRecord {
+	base := time.Date(2023, 3, 1, 0, 0, 12, 0, time.UTC)
+	out := make([]core.SlotRecord, n)
+	for i := range out {
+		rec := core.SlotRecord{
+			Observation: core.Observation{
+				Terminal:  []string{"A", "B"}[i%2],
+				SlotStart: base.Add(time.Duration(i) * 15 * time.Second),
+				LocalHour: i % 24,
+				Available: []core.SatObs{{ID: i + 1, ElevationDeg: 40}},
+				ChosenIdx: -1,
+			},
+		}
+		if i%3 != 0 {
+			rec.ChosenIdx = 0
+			rec.IdentifiedID = i + 1
+			rec.TrueID = i + 1
+		} else {
+			rec.SkipReason = "no satellite allocated"
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+func TestRunOrderAndStages(t *testing.T) {
+	recs := fakeRecords(20)
+	var want []core.SlotRecord
+	for _, r := range recs {
+		if r.Terminal == "A" && r.ChosenIdx >= 0 {
+			want = append(want, r)
+		}
+	}
+	collect := &Collect{}
+	p := &Pipeline{
+		Source: Records(recs),
+		Stages: []Stage{Terminals("A"), ChosenOnly()},
+		Sinks:  []Sink{collect},
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collect.Records, want) {
+		t.Fatalf("staged stream = %d records, want %d in source order", len(collect.Records), len(want))
+	}
+}
+
+func TestWhereGatesOneSink(t *testing.T) {
+	recs := fakeRecords(20)
+	all := &Collect{}
+	chosen := &CollectObservations{}
+	counts := &CountSkips{}
+	p := &Pipeline{
+		Source: Records(recs),
+		Sinks:  []Sink{all, Where(ChosenOnly(), chosen), counts},
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Records) != len(recs) {
+		t.Errorf("ungated sink saw %d records, want %d", len(all.Records), len(recs))
+	}
+	wantChosen := 0
+	for _, r := range recs {
+		if r.ChosenIdx >= 0 {
+			wantChosen++
+		}
+	}
+	if len(chosen.Obs) != wantChosen {
+		t.Errorf("gated sink saw %d records, want %d", len(chosen.Obs), wantChosen)
+	}
+	if counts.Total != len(recs) || counts.Served != wantChosen {
+		t.Errorf("counts = %d/%d, want %d/%d", counts.Served, counts.Total, wantChosen, len(recs))
+	}
+	if counts.Reasons["no satellite allocated"] != len(recs)-wantChosen {
+		t.Errorf("skip histogram = %v", counts.Reasons)
+	}
+}
+
+func TestLimitStopsSourceEarly(t *testing.T) {
+	emitted := 0
+	src := SourceFunc(func(ctx context.Context, emit func(Record) error) error {
+		for i := 0; i < 1000; i++ {
+			emitted++
+			if err := emit(Record{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	collect := &Collect{}
+	flushed := &flushRecorder{}
+	p := &Pipeline{
+		Source: src,
+		Stages: []Stage{Limit(10)},
+		Sinks:  []Sink{collect, flushed},
+		Buffer: 1,
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(collect.Records) != 10 {
+		t.Errorf("collected %d records, want 10", len(collect.Records))
+	}
+	if emitted >= 1000 {
+		t.Error("source ran to completion; Limit should have cancelled it")
+	}
+	if !flushed.flushed {
+		t.Error("sinks not flushed after a clean ErrStop")
+	}
+}
+
+// flushRecorder tracks whether Flush ran.
+type flushRecorder struct{ flushed bool }
+
+func (f *flushRecorder) Consume(rec *Record) error { return nil }
+func (f *flushRecorder) Flush() error              { f.flushed = true; return nil }
+
+func TestSinkErrorAbortsWithoutFlush(t *testing.T) {
+	sentinel := errors.New("sink exploded")
+	n := 0
+	failing := SinkFunc(func(rec *Record) error {
+		n++
+		if n == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	flushed := &flushRecorder{}
+	p := &Pipeline{
+		Source: Records(fakeRecords(50)),
+		Sinks:  []Sink{failing, flushed},
+	}
+	if err := p.Run(context.Background()); err != sentinel {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if flushed.flushed {
+		t.Error("Flush ran after an error")
+	}
+}
+
+func TestStageErrorAborts(t *testing.T) {
+	sentinel := errors.New("stage exploded")
+	bad := Stage(func(rec *Record) (bool, error) { return false, sentinel })
+	p := &Pipeline{
+		Source: Records(fakeRecords(5)),
+		Stages: []Stage{bad},
+		Sinks:  []Sink{&Collect{}},
+	}
+	if err := p.Run(context.Background()); err != sentinel {
+		t.Fatalf("err = %v, want the stage's error", err)
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	sentinel := errors.New("source died")
+	src := SourceFunc(func(ctx context.Context, emit func(Record) error) error {
+		for i := 0; i < 3; i++ {
+			if err := emit(Record{}); err != nil {
+				return err
+			}
+		}
+		return sentinel
+	})
+	collect := &Collect{}
+	p := &Pipeline{Source: src, Sinks: []Sink{collect}}
+	if err := p.Run(context.Background()); err != sentinel {
+		t.Fatalf("err = %v, want the source's error", err)
+	}
+	if len(collect.Records) != 3 {
+		t.Errorf("records before the failure = %d, want 3", len(collect.Records))
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Pipeline{Source: Records(fakeRecords(5)), Sinks: []Sink{&Collect{}}}
+	if err := p.Run(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := (&Pipeline{Sinks: []Sink{&Collect{}}}).Run(context.Background()); err == nil {
+		t.Error("nil source accepted")
+	}
+	if err := (&Pipeline{Source: Records(nil)}).Run(context.Background()); err == nil {
+		t.Error("no sinks accepted")
+	}
+}
+
+// TestRecordReplayRoundTrip: WriteRecords output replayed through
+// RecordReplay reproduces the stream exactly — the persistence leg of
+// the pipeline is lossless.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	recs := fakeRecords(25)
+	var buf bytes.Buffer
+	p := &Pipeline{Source: Records(recs), Sinks: []Sink{WriteRecords(&buf)}}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	collect := &Collect{}
+	p = &Pipeline{Source: RecordReplay{R: &buf}, Sinks: []Sink{collect}}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collect.Records, recs) {
+		t.Fatal("record replay diverges from the written stream")
+	}
+}
+
+// TestObservationReplayRoundTrip: the observation leg drops the
+// ground-truth fields and wraps what remains in bare records.
+func TestObservationReplayRoundTrip(t *testing.T) {
+	recs := fakeRecords(25)
+	var buf bytes.Buffer
+	p := &Pipeline{Source: Records(recs), Sinks: []Sink{WriteObservations(&buf)}}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	collect := &Collect{}
+	p = &Pipeline{Source: ObservationReplay{R: &buf}, Sinks: []Sink{collect}}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(collect.Records) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(collect.Records), len(recs))
+	}
+	for i, got := range collect.Records {
+		want := Record{Observation: recs[i].Observation}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: observation replay = %+v, want bare %+v", i, got, want)
+		}
+	}
+}
+
+// TestReplayDecodeError: a corrupt trace surfaces the decoder's error
+// through Run.
+func TestReplayDecodeError(t *testing.T) {
+	p := &Pipeline{
+		Source: RecordReplay{R: bytes.NewReader([]byte("{broken"))},
+		Sinks:  []Sink{&Collect{}},
+	}
+	if err := p.Run(context.Background()); err == nil {
+		t.Fatal("corrupt trace replayed without error")
+	}
+}
+
+// TestObservationsSourceWrap: in-memory observations stream as bare
+// records.
+func TestObservationsSourceWrap(t *testing.T) {
+	recs := fakeRecords(6)
+	obs := make([]core.Observation, len(recs))
+	for i := range recs {
+		obs[i] = recs[i].Observation
+	}
+	collect := &Collect{}
+	p := &Pipeline{Source: Observations(obs), Sinks: []Sink{collect}}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range obs {
+		if !reflect.DeepEqual(collect.Records[i], Record{Observation: obs[i]}) {
+			t.Fatalf("record %d: not a bare wrap", i)
+		}
+	}
+}
+
+// TestFeedAccumulator: the Feed sink drives a core accumulator to the
+// same result as the batch analyzer over the same rows.
+func TestFeedAccumulator(t *testing.T) {
+	recs := fakeRecords(40)
+	var obs []core.Observation
+	for _, r := range recs {
+		if r.ChosenIdx >= 0 {
+			obs = append(obs, r.Observation)
+		}
+	}
+	acc := core.NewAOEAccumulator(5)
+	p := &Pipeline{
+		Source: Records(recs),
+		Stages: []Stage{ChosenOnly()},
+		Sinks:  []Sink{Feed(acc)},
+	}
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AnalyzeAOE(obs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := acc.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fed accumulator diverges from batch analyzer")
+	}
+}
+
+// TestLimitExample documents composition: campaign-shaped source,
+// limit, terminal filter, two sinks — nothing blocks, nothing leaks.
+func TestLimitExample(t *testing.T) {
+	for _, buffer := range []int{1, 64} {
+		t.Run(fmt.Sprintf("buffer=%d", buffer), func(t *testing.T) {
+			counts := &CountSkips{}
+			p := &Pipeline{
+				Source: Records(fakeRecords(200)),
+				Stages: []Stage{Terminals("B"), Limit(30)},
+				Sinks:  []Sink{counts, SinkFunc(func(rec *Record) error { return nil })},
+				Buffer: buffer,
+			}
+			if err := p.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if counts.Total != 30 {
+				t.Fatalf("limited stream = %d records, want 30", counts.Total)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package traceio
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzRecordDecoder hammers the streaming SlotRecord decoder with
+// arbitrary bytes: it must never panic, must terminate, and whatever
+// it does decode must survive a re-encode/re-decode round trip
+// unchanged (the codec is its own inverse on its accepted language).
+func FuzzRecordDecoder(f *testing.F) {
+	f.Add([]byte(`{"Terminal":"Iowa","Available":[{"ID":1,"ElevationDeg":40}],"ChosenIdx":0,"TrueID":1}` + "\n"))
+	f.Add([]byte(`{"Terminal":"x","Available":null,"ChosenIdx":-1}` + "\n" + `{"Terminal":"y"`))
+	f.Add([]byte("{broken"))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewRecordDecoder(bytes.NewReader(data))
+		const maxRecords = 1 << 12 // arbitrary input must not loop forever
+		for i := 0; i < maxRecords; i++ {
+			rec, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// Any later Next must keep failing, not panic.
+				if _, err2 := dec.Next(); err2 == nil {
+					t.Error("decoder recovered after an error")
+				}
+				return
+			}
+			if rec.ChosenIdx >= len(rec.Available) {
+				t.Fatalf("validation let chosen index %d through (%d available)", rec.ChosenIdx, len(rec.Available))
+			}
+			var buf bytes.Buffer
+			enc := NewRecordEncoder(&buf)
+			if err := enc.Encode(&rec); err != nil {
+				t.Fatalf("re-encode of accepted record failed: %v", err)
+			}
+			if err := enc.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := NewRecordDecoder(&buf).Next()
+			if err != nil {
+				t.Fatalf("re-decode of accepted record failed: %v", err)
+			}
+			if !reflect.DeepEqual(rec, again) {
+				t.Fatal("record changed across re-encode round trip")
+			}
+		}
+	})
+}
+
+// FuzzObservationDecoder is the same property for the observation
+// codec, which faces user-supplied -load-obs files in cmd/repro.
+func FuzzObservationDecoder(f *testing.F) {
+	f.Add([]byte(`{"Terminal":"Iowa","Available":[{"ID":1}],"ChosenIdx":0}` + "\n"))
+	f.Add([]byte(`{"ChosenIdx":7,"Available":[]}`))
+	f.Add([]byte("]["))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewObservationDecoder(bytes.NewReader(data))
+		const maxRecords = 1 << 12
+		for i := 0; i < maxRecords; i++ {
+			o, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if o.ChosenIdx >= len(o.Available) {
+				t.Fatalf("validation let chosen index %d through (%d available)", o.ChosenIdx, len(o.Available))
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package traceio
+
+// Record-at-a-time codecs: the streaming counterparts of the batch
+// helpers in traceio.go. Each encoder/decoder holds O(1) state, so a
+// multi-million-slot campaign can be persisted while it runs and
+// replayed without ever materializing the trace. The batch helpers
+// are thin wrappers over these, so the two formats cannot drift.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/scheduler"
+)
+
+// ObservationEncoder streams observations as JSON Lines, one record
+// per Encode call. Call Flush when done; output before a Flush may sit
+// in the internal buffer.
+type ObservationEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewObservationEncoder wraps w.
+func NewObservationEncoder(w io.Writer) *ObservationEncoder {
+	bw := bufio.NewWriter(w)
+	return &ObservationEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one observation line.
+func (e *ObservationEncoder) Encode(o *core.Observation) error {
+	if err := e.enc.Encode(o); err != nil {
+		return fmt.Errorf("traceio: write observation %d: %w", e.n, err)
+	}
+	e.n++
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (e *ObservationEncoder) Flush() error { return e.bw.Flush() }
+
+// ObservationDecoder streams observations back from JSON Lines,
+// validating each record as it decodes.
+type ObservationDecoder struct {
+	dec *json.Decoder
+	n   int
+}
+
+// NewObservationDecoder wraps r.
+func NewObservationDecoder(r io.Reader) *ObservationDecoder {
+	return &ObservationDecoder{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next observation; io.EOF ends a well-formed
+// stream. Truncated or malformed input returns a decorated error —
+// never a panic — and the decoder is not usable afterwards.
+func (d *ObservationDecoder) Next() (core.Observation, error) {
+	var o core.Observation
+	if err := d.dec.Decode(&o); err != nil {
+		if err == io.EOF {
+			return o, io.EOF
+		}
+		return o, fmt.Errorf("traceio: read observation %d: %w", d.n+1, err)
+	}
+	d.n++
+	if o.ChosenIdx >= len(o.Available) {
+		return o, fmt.Errorf("traceio: observation %d: chosen index %d out of range (%d available)",
+			d.n, o.ChosenIdx, len(o.Available))
+	}
+	return o, nil
+}
+
+// Decoded reports how many records have been decoded successfully.
+func (d *ObservationDecoder) Decoded() int { return d.n }
+
+// RecordEncoder streams full campaign SlotRecords (observation plus
+// ground truth, identification answer, margin, and skip reason) as
+// JSON Lines.
+type RecordEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewRecordEncoder wraps w.
+func NewRecordEncoder(w io.Writer) *RecordEncoder {
+	bw := bufio.NewWriter(w)
+	return &RecordEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one record line.
+func (e *RecordEncoder) Encode(rec *core.SlotRecord) error {
+	if err := e.enc.Encode(rec); err != nil {
+		return fmt.Errorf("traceio: write record %d: %w", e.n, err)
+	}
+	e.n++
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (e *RecordEncoder) Flush() error { return e.bw.Flush() }
+
+// RecordDecoder streams SlotRecords back from JSON Lines.
+type RecordDecoder struct {
+	dec *json.Decoder
+	n   int
+}
+
+// NewRecordDecoder wraps r.
+func NewRecordDecoder(r io.Reader) *RecordDecoder {
+	return &RecordDecoder{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next record; io.EOF ends a well-formed stream.
+func (d *RecordDecoder) Next() (core.SlotRecord, error) {
+	var rec core.SlotRecord
+	if err := d.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("traceio: read record %d: %w", d.n+1, err)
+	}
+	d.n++
+	if rec.ChosenIdx >= len(rec.Available) {
+		return rec, fmt.Errorf("traceio: record %d: chosen index %d out of range (%d available)",
+			d.n, rec.ChosenIdx, len(rec.Available))
+	}
+	return rec, nil
+}
+
+// Decoded reports how many records have been decoded successfully.
+func (d *RecordDecoder) Decoded() int { return d.n }
+
+// AllocationWriter streams an allocation log as TSV one row at a
+// time. The header row is emitted on construction; Flush finishes the
+// stream (buffered write errors, including the header's, surface
+// there or on the first Write after they occur).
+type AllocationWriter struct {
+	bw *bufio.Writer
+	n  int
+}
+
+// NewAllocationWriter wraps w and buffers the header row.
+func NewAllocationWriter(w io.Writer) *AllocationWriter {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "slot_start\tterminal\tsat_id\televation_deg\tazimuth_deg\trange_km\tsunlit\tlaunch\tcandidates")
+	return &AllocationWriter{bw: bw}
+}
+
+// Write appends one allocation row.
+func (w *AllocationWriter) Write(a scheduler.Allocation) error {
+	sunlit := 0
+	if a.Sunlit {
+		sunlit = 1
+	}
+	launch := ""
+	if !a.LaunchDate.IsZero() {
+		launch = a.LaunchDate.UTC().Format(timeLayout)
+	}
+	if _, err := fmt.Fprintf(w.bw, "%s\t%s\t%d\t%g\t%g\t%g\t%d\t%s\t%d\n",
+		a.SlotStart.UTC().Format(timeLayout), a.Terminal, a.SatID,
+		a.ElevationDeg, a.AzimuthDeg, a.RangeKm, sunlit, launch, a.Candidates); err != nil {
+		return fmt.Errorf("traceio: write allocation: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *AllocationWriter) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: flush allocations: %w", err)
+	}
+	return nil
+}

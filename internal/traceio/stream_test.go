@@ -1,0 +1,197 @@
+package traceio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scheduler"
+)
+
+// randObservation draws a structurally valid observation from rng —
+// the generator behind the property-based batch-vs-streaming checks.
+func randObservation(rng *rand.Rand) core.Observation {
+	n := rng.Intn(6)
+	o := core.Observation{
+		Terminal:  []string{"Iowa", "Madrid", "New York", "Seattle"}[rng.Intn(4)],
+		SlotStart: time.Date(2023, 3, 1, 0, 0, 12, 0, time.UTC).Add(time.Duration(rng.Intn(1e6)) * 15 * time.Second),
+		LocalHour: rng.Intn(24),
+		ChosenIdx: -1,
+	}
+	for i := 0; i < n; i++ {
+		o.Available = append(o.Available, core.SatObs{
+			ID:           rng.Intn(5000) + 1,
+			ElevationDeg: 25 + 65*rng.Float64(),
+			AzimuthDeg:   360 * rng.Float64(),
+			RangeKm:      500 + 1500*rng.Float64(),
+			AgeYears:     4 * rng.Float64(),
+			LaunchDate:   time.Date(2019+rng.Intn(4), time.Month(1+rng.Intn(12)), 1, 0, 0, 0, 0, time.UTC),
+			Sunlit:       rng.Intn(2) == 0,
+		})
+	}
+	if n > 0 && rng.Intn(4) > 0 {
+		o.ChosenIdx = rng.Intn(n)
+	}
+	return o
+}
+
+// TestObservationBatchStreamEquivalence is the property-based check
+// that the streaming codec and the batch helpers are the same format:
+// for random observation sets, byte-identical encodings and
+// deeply-equal decodings, in both directions.
+func TestObservationBatchStreamEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		obs := make([]core.Observation, rng.Intn(20))
+		for i := range obs {
+			obs[i] = randObservation(rng)
+		}
+
+		var batch bytes.Buffer
+		if err := WriteObservations(&batch, obs); err != nil {
+			t.Fatal(err)
+		}
+		var streamed bytes.Buffer
+		enc := NewObservationEncoder(&streamed)
+		for i := range obs {
+			if err := enc.Encode(&obs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+			t.Fatalf("trial %d: batch and streaming encodings differ", trial)
+		}
+
+		fromBatch, err := ReadObservations(bytes.NewReader(batch.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewObservationDecoder(bytes.NewReader(streamed.Bytes()))
+		var fromStream []core.Observation
+		for {
+			o, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromStream = append(fromStream, o)
+		}
+		if !reflect.DeepEqual(fromBatch, fromStream) {
+			t.Fatalf("trial %d: batch and streaming decodings differ", trial)
+		}
+		if dec.Decoded() != len(obs) {
+			t.Fatalf("trial %d: Decoded() = %d, want %d", trial, dec.Decoded(), len(obs))
+		}
+	}
+}
+
+// TestRecordRoundTrip covers the full-SlotRecord codec: encode ->
+// decode recovers every field, including the ground-truth and
+// identification ones the observation codec drops.
+func TestRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var in []core.SlotRecord
+	for i := 0; i < 40; i++ {
+		rec := core.SlotRecord{
+			Observation:  randObservation(rng),
+			TrueID:       rng.Intn(5000),
+			IdentifiedID: rng.Intn(5000),
+			Margin:       10 * rng.Float64(),
+		}
+		if rec.ChosenIdx < 0 {
+			rec.SkipReason = "no satellite allocated"
+		}
+		in = append(in, rec)
+	}
+	var buf bytes.Buffer
+	enc := NewRecordEncoder(&buf)
+	for i := range in {
+		if err := enc.Encode(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewRecordDecoder(&buf)
+	var out []core.SlotRecord
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("record round trip lost data")
+	}
+}
+
+// TestStreamDecoderErrors: truncated and garbage input must error
+// with a decorated message, never panic, and validation must reject
+// out-of-range chosen indices record by record.
+func TestStreamDecoderErrors(t *testing.T) {
+	cases := []string{
+		"{broken",
+		`{"Terminal":"x","Available":[{"ID":1}],"ChosenIdx":5}`,
+		`{"Terminal":"x","Available":null,"ChosenIdx":0}`,
+		"\x00\x01\x02",
+		`[1,2,3`,
+	}
+	for i, c := range cases {
+		if _, err := NewObservationDecoder(strings.NewReader(c)).Next(); err == nil || err == io.EOF {
+			t.Errorf("observation case %d: err = %v, want decode error", i, err)
+		}
+		if _, err := NewRecordDecoder(strings.NewReader(c)).Next(); err == nil || err == io.EOF {
+			t.Errorf("record case %d: err = %v, want decode error", i, err)
+		}
+	}
+	// A valid record followed by a truncated one: the first decodes,
+	// the second errors with its 1-based index.
+	input := `{"Terminal":"x","Available":[{"ID":1}],"ChosenIdx":0}` + "\n" + `{"Terminal":`
+	dec := NewObservationDecoder(strings.NewReader(input))
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil || !strings.Contains(err.Error(), "observation 2") {
+		t.Errorf("truncated tail error = %v, want observation 2 decode error", err)
+	}
+}
+
+// TestAllocationWriterMatchesBatch: the streaming TSV writer and the
+// batch WriteAllocations emit identical bytes, header included, even
+// for empty logs.
+func TestAllocationWriterMatchesBatch(t *testing.T) {
+	for _, allocs := range [][]scheduler.Allocation{nil, sampleAllocations()} {
+		var batch bytes.Buffer
+		if err := WriteAllocations(&batch, allocs); err != nil {
+			t.Fatal(err)
+		}
+		var streamed bytes.Buffer
+		aw := NewAllocationWriter(&streamed)
+		for _, a := range allocs {
+			if err := aw.Write(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := aw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+			t.Errorf("len=%d: batch and streaming allocation TSV differ", len(allocs))
+		}
+	}
+}

@@ -10,7 +10,6 @@ package traceio
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -25,28 +24,16 @@ import (
 // timeLayout is RFC3339 with nanoseconds, lossless for our clocks.
 const timeLayout = time.RFC3339Nano
 
-// WriteAllocations streams an allocation log as TSV.
+// WriteAllocations writes an allocation log as TSV (batch wrapper
+// over AllocationWriter).
 func WriteAllocations(w io.Writer, allocs []scheduler.Allocation) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "slot_start\tterminal\tsat_id\televation_deg\tazimuth_deg\trange_km\tsunlit\tlaunch\tcandidates"); err != nil {
-		return fmt.Errorf("traceio: write header: %w", err)
-	}
+	aw := NewAllocationWriter(w)
 	for _, a := range allocs {
-		sunlit := 0
-		if a.Sunlit {
-			sunlit = 1
-		}
-		launch := ""
-		if !a.LaunchDate.IsZero() {
-			launch = a.LaunchDate.UTC().Format(timeLayout)
-		}
-		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%g\t%g\t%g\t%d\t%s\t%d\n",
-			a.SlotStart.UTC().Format(timeLayout), a.Terminal, a.SatID,
-			a.ElevationDeg, a.AzimuthDeg, a.RangeKm, sunlit, launch, a.Candidates); err != nil {
-			return fmt.Errorf("traceio: write allocation: %w", err)
+		if err := aw.Write(a); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return aw.Flush()
 }
 
 // ReadAllocations parses a TSV allocation log written by
@@ -156,36 +143,32 @@ func ReadSamples(r io.Reader) ([]netsim.Sample, error) {
 	return out, nil
 }
 
-// WriteObservations streams slot observations as JSON Lines.
+// WriteObservations writes slot observations as JSON Lines (batch
+// wrapper over ObservationEncoder).
 func WriteObservations(w io.Writer, obs []core.Observation) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	enc := NewObservationEncoder(w)
 	for i := range obs {
 		if err := enc.Encode(&obs[i]); err != nil {
-			return fmt.Errorf("traceio: write observation %d: %w", i, err)
+			return err
 		}
 	}
-	return bw.Flush()
+	return enc.Flush()
 }
 
 // ReadObservations parses JSON Lines written by WriteObservations and
-// validates each record's chosen index.
+// validates each record's chosen index (batch wrapper over
+// ObservationDecoder).
 func ReadObservations(r io.Reader) ([]core.Observation, error) {
-	dec := json.NewDecoder(r)
+	dec := NewObservationDecoder(r)
 	var out []core.Observation
 	for {
-		var o core.Observation
-		if err := dec.Decode(&o); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("traceio: read observation %d: %w", len(out)+1, err)
+		o, err := dec.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		if o.ChosenIdx >= len(o.Available) {
-			return nil, fmt.Errorf("traceio: observation %d: chosen index %d out of range (%d available)",
-				len(out)+1, o.ChosenIdx, len(o.Available))
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, o)
 	}
-	return out, nil
 }

@@ -5,6 +5,14 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh BENCH_PR3.json
+#   BENCHTIME=5x scripts/bench.sh BENCH_PR4.json
+#
+# Besides the timing benchmarks, the run records the streaming-vs-batch
+# campaign memory benchmark (BenchmarkCampaignMemory): its
+# final_live_MB metric must stay flat for stream/* across the 10× slot
+# jump and grow linearly for batch/*. It always runs at -benchtime=1x —
+# one campaign per variant is the measurement; iterating would only
+# repeat it.
 #
 # Only the standard library and POSIX awk are assumed. The raw `go
 # test -bench` lines pass through on stderr so a terminal run stays
@@ -21,6 +29,8 @@ trap 'rm -f "$tmp"' EXIT
         -benchmem -benchtime="$benchtime"
     go test . -run='^$' -bench='^BenchmarkFig8TopK' \
         -benchmem -benchtime="$benchtime"
+    go test . -run='^$' -bench='^BenchmarkCampaignMemory' \
+        -benchmem -benchtime=1x
 } | tee "$tmp" >&2
 
 awk '
