@@ -22,6 +22,7 @@ import (
 	"repro/internal/obstruction"
 	"repro/internal/pipeline"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 )
 
 // benchEnv lazily builds one shared environment + observation set so
@@ -200,6 +201,36 @@ func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
 // the serial engine; compare ns/op against BenchmarkCampaignSerial
 // for the speedup.
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 4) }
+
+// BenchmarkCampaignParallelTelemetry is BenchmarkCampaignParallel with
+// the full telemetry bundle live — registry-backed counters, gauges,
+// matcher stats, and a 4096-deep decision trace. The overhead
+// acceptance number: ns/op must stay within 3% of
+// BenchmarkCampaignParallel (the nil-bundle Nop path). Record both
+// with scripts/bench.sh (BENCH_PR5.json).
+func BenchmarkCampaignParallelTelemetry(b *testing.B) {
+	env, _, _ := benchSetup(b)
+	reg := telemetry.NewRegistry()
+	m := core.NewCampaignMetrics(reg)
+	m.Trace = telemetry.NewDecisionTrace(4096)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCampaign(context.Background(), core.CampaignConfig{
+			Scheduler:  env.Sched,
+			Identifier: env.Ident,
+			Start:      env.Start(),
+			Slots:      12,
+			Workers:    4,
+			Metrics:    m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy()
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
 
 // BenchmarkFig4AOECDF regenerates Figure 4 and reports the median AOE
 // lift of chosen over available satellites (paper: 22.9 deg).

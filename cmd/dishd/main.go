@@ -7,10 +7,12 @@
 // Usage:
 //
 //	dishd [-listen 127.0.0.1:9200] [-terminal Iowa] [-scale small]
-//	      [-seed 7] [-speedup 60]
+//	      [-seed 7] [-speedup 60] [-telemetry-addr 127.0.0.1:0]
 //
 // With -speedup N, N simulated seconds elapse per wall second, so a
-// full 10-minute reset cycle can be observed in ten seconds.
+// full 10-minute reset cycle can be observed in ten seconds. With
+// -telemetry-addr the daemon also serves scheduler metrics on
+// /metrics and /debug/vars for the lifetime of the process.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"repro/internal/dishrpc"
 	"repro/internal/experiments"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,19 +38,24 @@ func main() {
 		scale    = flag.String("scale", "small", "constellation scale: small|medium|full")
 		seed     = flag.Int64("seed", 7, "deterministic seed")
 		speedup  = flag.Float64("speedup", 60, "simulated seconds per wall second")
+		teleAdr  = flag.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address")
 	)
 	flag.Parse()
-	if err := run(*listen, *terminal, *scale, *seed, *speedup); err != nil {
+	if err := run(*listen, *terminal, *scale, *seed, *speedup, *teleAdr); err != nil {
 		fmt.Fprintln(os.Stderr, "dishd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, terminal, scale string, seed int64, speedup float64) error {
+func run(listen, terminal, scale string, seed int64, speedup float64, teleAdr string) error {
 	if speedup <= 0 {
 		return fmt.Errorf("speedup must be positive, got %v", speedup)
 	}
-	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed})
+	var reg *telemetry.Registry
+	if teleAdr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -81,6 +89,14 @@ func run(listen, terminal, scale string, seed int64, speedup float64) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if teleAdr != "" {
+		tsrv, err := telemetry.StartServer(ctx, teleAdr, reg, env.Trace())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dishd: telemetry on http://%s/metrics\n", tsrv.Addr())
+	}
 
 	// Firmware loop: every simulated slot, paint the serving track.
 	go func() {

@@ -122,6 +122,7 @@ func runClient(addr string, interval time.Duration, count int, tsvPath string) e
 	fmt.Printf("sent %d, received %d (%.2f%% loss)\n", sum.Sent, sum.Received, sum.LossRate*100)
 	if sum.Received > 0 {
 		fmt.Printf("rtt min/median/max = %v / %v / %v\n", sum.MinRTT, sum.MedianRTT, sum.MaxRTT)
+		fmt.Printf("rtt p95/p99 = %v / %v\n", sum.P95RTT, sum.P99RTT)
 	}
 	if tsvPath != "" {
 		f, err := os.Create(tsvPath)

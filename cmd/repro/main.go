@@ -16,6 +16,10 @@
 //	-workers int                campaign + model-training worker pool (default 0 = GOMAXPROCS)
 //	-dir     string             where fig3 writes PNGs (default ".")
 //	-full-grid                  fig8: run the full hyperparameter grid
+//	-telemetry-addr addr        serve /metrics, /debug/vars, /debug/pprof on addr
+//	-trace-decisions n          keep the last n campaign decisions in a ring
+//	-trace-out file             dump the decision ring as JSONL on exit
+//	-v                          print the telemetry counter summary on exit
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,21 +41,44 @@ import (
 	"repro/internal/obstruction"
 	"repro/internal/pipeline"
 	"repro/internal/skyplot"
+	"repro/internal/telemetry"
 )
 
+// options carries the flag values into run; one struct instead of a
+// dozen positional parameters.
+type options struct {
+	scale         string
+	seed          int64
+	slots         int
+	workers       int
+	dir           string
+	fullGrid      bool
+	saveObs       string
+	loadObs       string
+	saveMdl       string
+	pcapPath      string
+	telemetryAddr string
+	traceDepth    int
+	traceOut      string
+	verbose       bool
+}
+
 func main() {
-	var (
-		scale    = flag.String("scale", "medium", "constellation scale: small|medium|full")
-		seed     = flag.Int64("seed", 7, "deterministic seed")
-		slots    = flag.Int("slots", 500, "campaign length in 15-second slots")
-		workers  = flag.Int("workers", 0, "worker pool size for campaigns and fig8 model training (0 = GOMAXPROCS, 1 = serial)")
-		dir      = flag.String("dir", ".", "output directory for fig3 PNGs")
-		fullGrid = flag.Bool("full-grid", false, "fig8: search the full hyperparameter grid")
-		saveObs  = flag.String("save-obs", "", "write campaign observations as JSONL to this file")
-		loadObs  = flag.String("load-obs", "", "re-analyze saved observations instead of running a campaign")
-		saveMdl  = flag.String("save-model", "", "fig8: write the trained forest as JSON to this file")
-		pcapPath = flag.String("pcap", "", "fig2: also export the probe trace as a pcap file")
-	)
+	var opt options
+	flag.StringVar(&opt.scale, "scale", "medium", "constellation scale: small|medium|full")
+	flag.Int64Var(&opt.seed, "seed", 7, "deterministic seed")
+	flag.IntVar(&opt.slots, "slots", 500, "campaign length in 15-second slots")
+	flag.IntVar(&opt.workers, "workers", 0, "worker pool size for campaigns and fig8 model training (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&opt.dir, "dir", ".", "output directory for fig3 PNGs")
+	flag.BoolVar(&opt.fullGrid, "full-grid", false, "fig8: search the full hyperparameter grid")
+	flag.StringVar(&opt.saveObs, "save-obs", "", "write campaign observations as JSONL to this file")
+	flag.StringVar(&opt.loadObs, "load-obs", "", "re-analyze saved observations instead of running a campaign")
+	flag.StringVar(&opt.saveMdl, "save-model", "", "fig8: write the trained forest as JSON to this file")
+	flag.StringVar(&opt.pcapPath, "pcap", "", "fig2: also export the probe trace as a pcap file")
+	flag.StringVar(&opt.telemetryAddr, "telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	flag.IntVar(&opt.traceDepth, "trace-decisions", 0, "keep the last n campaign scheduling decisions in a ring")
+	flag.StringVar(&opt.traceOut, "trace-out", "", "write the decision ring as JSONL to this file on exit")
+	flag.BoolVar(&opt.verbose, "v", false, "print the telemetry counter summary on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|all")
@@ -60,19 +88,42 @@ func main() {
 	// into core.RunCampaign, which discards the partial run and returns.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, flag.Arg(0), *scale, *seed, *slots, *workers, *dir, *fullGrid, *saveObs, *loadObs, *saveMdl, *pcapPath); err != nil {
+	if err := run(ctx, flag.Arg(0), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, what, scale string, seed int64, slots, workers int, dir string, fullGrid bool, saveObs, loadObs, saveMdl, pcapPath string) error {
-	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed, Workers: workers})
+func run(ctx context.Context, what string, opt options) error {
+	// The registry exists only when something consumes it: the HTTP
+	// endpoint, the -v summary, or a decision dump. Otherwise every
+	// instrumented path stays on its nil fast branch.
+	var reg *telemetry.Registry
+	if opt.telemetryAddr != "" || opt.verbose {
+		reg = telemetry.NewRegistry()
+	}
+	traceDepth := opt.traceDepth
+	if traceDepth == 0 && opt.traceOut != "" {
+		traceDepth = 4096
+	}
+	env, err := experiments.NewEnv(experiments.Config{
+		Scale: experiments.Scale(opt.scale), Seed: opt.seed, Workers: opt.workers,
+		Telemetry: reg, TraceDecisions: traceDepth,
+	})
 	if err != nil {
 		return err
 	}
 	env.Ctx = ctx
-	fmt.Printf("# constellation: %d satellites (scale=%s seed=%d)\n\n", env.Cons.Len(), scale, seed)
+	if opt.telemetryAddr != "" {
+		srv, err := telemetry.StartServer(ctx, opt.telemetryAddr, reg, env.Trace())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	fmt.Printf("# constellation: %d satellites (scale=%s seed=%d)\n\n", env.Cons.Len(), opt.scale, opt.seed)
+	slots, dir, fullGrid := opt.slots, opt.dir, opt.fullGrid
+	saveObs, loadObs, saveMdl, pcapPath := opt.saveObs, opt.loadObs, opt.saveMdl, opt.pcapPath
 
 	var obs []core.Observation
 	needObs := func() error {
@@ -115,13 +166,14 @@ func run(ctx context.Context, what, scale string, seed int64, slots, workers int
 			// of the whole trace.
 			sinks = append(sinks, pipeline.WriteObservations(f))
 		}
+		before := takeSkips(env.Telemetry)
 		st, err := env.StreamObservations(slots, sinks...)
 		if err != nil {
 			return err
 		}
 		obs = collect.Obs
 		fmt.Printf("# %d observations in %.1fs\n", len(obs), time.Since(start).Seconds())
-		printCampaignStats(st)
+		printCampaignStats(st, env.Telemetry, before)
 		fmt.Println()
 		if saveObs != "" {
 			fmt.Printf("# wrote observations to %s\n\n", saveObs)
@@ -176,7 +228,64 @@ func run(ctx context.Context, what, scale string, seed int64, slots, workers int
 		}
 		fmt.Println()
 	}
+	if opt.traceOut != "" {
+		if err := dumpTrace(env, opt.traceOut); err != nil {
+			return err
+		}
+	}
+	if opt.verbose {
+		printTelemetry(reg)
+	}
 	return nil
+}
+
+// dumpTrace writes the environment's decision ring as JSONL.
+func dumpTrace(env *experiments.Env, path string) error {
+	tr := env.Trace()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "repro: wrote %d of %d recorded decisions to %s\n", tr.Len(), tr.Recorded(), path)
+	return nil
+}
+
+// printTelemetry prints the -v end-of-run summary: every counter and
+// gauge in sorted order, histograms as count/mean.
+func printTelemetry(reg *telemetry.Registry) {
+	s := reg.Snapshot()
+	fmt.Println("==== telemetry ====")
+	keys, vals := s.CountersWithPrefix("")
+	for i, k := range keys {
+		fmt.Printf("%-52s %12d\n", k, vals[i])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Printf("%-52s %12d\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.FloatGauge) {
+		fmt.Printf("%-52s %12.2f\n", k, s.FloatGauge[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Printf("%-52s count=%d mean=%.6g\n", k, h.Count, mean)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func runFig2(env *experiments.Env, pcapPath string) error {
@@ -410,12 +519,13 @@ func printSunlit(a *core.SunlitAnalysis) {
 func runStream(env *experiments.Env, slots int) error {
 	fmt.Printf("streaming pipeline: one-pass §5 analyses + §6 dataset over a %d-slot campaign\n", slots)
 	start := time.Now()
+	before := takeSkips(env.Telemetry)
 	res, err := env.StreamAnalyses(slots)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("single pass in %.1fs; dataset rows: %d\n", time.Since(start).Seconds(), len(res.Dataset.X))
-	printCampaignStats(res.Stats)
+	printCampaignStats(res.Stats, env.Telemetry, before)
 	fmt.Println()
 	printAOE(res.AOE)
 	fmt.Println()
@@ -427,12 +537,37 @@ func runStream(env *experiments.Env, slots int) error {
 	return nil
 }
 
+// skipPrefix is the canonical key prefix of the labeled skip-reason
+// counters in the telemetry registry.
+const skipPrefix = `campaign_skips_total{reason="`
+
+// takeSkips snapshots the skip-reason counters before a campaign so
+// the summary after it can print this run's deltas — the registry is
+// shared across every campaign an `all` invocation runs. Nil-safe.
+func takeSkips(reg *telemetry.Registry) map[string]int64 {
+	keys, vals := reg.Snapshot().CountersWithPrefix(skipPrefix)
+	m := make(map[string]int64, len(keys))
+	for i, k := range keys {
+		m[k] = vals[i]
+	}
+	return m
+}
+
 // printCampaignStats surfaces what the campaign dropped on the way to
-// the analyses — previously discarded silently.
-func printCampaignStats(st *core.CampaignStats) {
+// the analyses — previously discarded silently. With telemetry enabled
+// the skip reasons come from the registry snapshot (as deltas against
+// `before`); otherwise from the engine's own tally.
+func printCampaignStats(st *core.CampaignStats, reg *telemetry.Registry, before map[string]int64) {
 	fmt.Printf("# campaign: %d records (%d slots x %d terminals), %d served, %d dropped\n",
 		st.Records, st.Slots, st.Terminals, st.Served, st.Dropped())
-	if len(st.Skips) == 0 {
+	if reg != nil {
+		keys, vals := reg.Snapshot().CountersWithPrefix(skipPrefix)
+		for i, k := range keys {
+			if d := vals[i] - before[k]; d > 0 {
+				reason := strings.TrimSuffix(strings.TrimPrefix(k, skipPrefix), `"}`)
+				fmt.Printf("#   %6d x %s\n", d, reason)
+			}
+		}
 		return
 	}
 	reasons := make([]string, 0, len(st.Skips))

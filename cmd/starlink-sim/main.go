@@ -6,19 +6,28 @@
 // Usage:
 //
 //	starlink-sim [-scale medium] [-seed 7] [-slots 40] [-tle out.tle]
+//	             [-telemetry-addr 127.0.0.1:0]
 //
 // With -tle the synthetic constellation's two-line element sets are
-// also written in CelesTrak 3-line format.
+// also written in CelesTrak 3-line format. With -telemetry-addr the
+// scheduler's metrics are served on /metrics (Prometheus text) and
+// /debug/vars, and the process keeps serving after the simulation
+// completes until interrupted — so a scraper or smoke test can read
+// the final counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 	"repro/internal/traceio"
 )
 
@@ -28,18 +37,32 @@ func main() {
 		seed    = flag.Int64("seed", 7, "deterministic seed")
 		slots   = flag.Int("slots", 40, "slots to simulate (15 s each)")
 		tlePath = flag.String("tle", "", "also write the constellation TLEs to this file")
+		teleAdr = flag.String("telemetry-addr", "", "serve /metrics and /debug/vars on this address; keep serving after the run until interrupted")
 	)
 	flag.Parse()
-	if err := run(*scale, *seed, *slots, *tlePath); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *scale, *seed, *slots, *tlePath, *teleAdr); err != nil {
 		fmt.Fprintln(os.Stderr, "starlink-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, slots int, tlePath string) error {
-	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed})
+func run(ctx context.Context, scale string, seed int64, slots int, tlePath, teleAdr string) error {
+	var reg *telemetry.Registry
+	if teleAdr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Scale(scale), Seed: seed, Telemetry: reg})
 	if err != nil {
 		return err
+	}
+	var srv *telemetry.Server
+	if teleAdr != "" {
+		if srv, err = telemetry.StartServer(ctx, teleAdr, reg, env.Trace()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "starlink-sim: telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	if tlePath != "" {
 		if err := os.WriteFile(tlePath, []byte(env.Cons.ExportTLEs()), 0o644); err != nil {
@@ -53,11 +76,24 @@ func run(scale string, seed int64, slots int, tlePath string) error {
 	aw := traceio.NewAllocationWriter(os.Stdout)
 	start := env.Start()
 	for i := 0; i < slots; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		for _, a := range env.Sched.Allocate(start.Add(time.Duration(i) * scheduler.Period)) {
 			if err := aw.Write(a); err != nil {
 				return err
 			}
 		}
 	}
-	return aw.Flush()
+	if err := aw.Flush(); err != nil {
+		return err
+	}
+	if srv != nil {
+		// Hold the endpoint open so the final counters stay scrapeable;
+		// Ctrl-C (or SIGTERM) tears the server down gracefully.
+		fmt.Fprintln(os.Stderr, "starlink-sim: run complete, serving telemetry until interrupted")
+		<-ctx.Done()
+		srv.Wait()
+	}
+	return nil
 }

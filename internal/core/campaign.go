@@ -38,6 +38,10 @@ type CampaignConfig struct {
 	// is owned by exactly one worker and records merge back in
 	// deterministic (slot, terminal) order.
 	Workers int
+	// Metrics, when non-nil, receives engine counters and the optional
+	// decision trace. Purely observational: record contents, ordering,
+	// and determinism are unaffected at any worker count.
+	Metrics *CampaignMetrics
 }
 
 // validate rejects unusable configs with the historical messages.

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/dtw"
+	"repro/internal/telemetry"
+)
+
+// CampaignMetrics is the campaign engine's telemetry bundle. All
+// handles are resolved once at construction, the observation points sit
+// on the single-goroutine paths (producer and emitter), and a nil
+// bundle — the default — disables everything at the cost of one branch
+// per call site, so the uninstrumented engine stays at Nop speed.
+type CampaignMetrics struct {
+	Slots       *telemetry.Counter
+	Records     *telemetry.Counter
+	Served      *telemetry.Counter
+	Skips       *telemetry.CounterVec
+	QueueDepth  *telemetry.Gauge
+	SlotsPerSec *telemetry.FloatGauge
+	Matcher     *dtw.Metrics
+
+	// Trace, when non-nil, records one Decision per emitted record —
+	// the chosen satellite plus the top rejected candidates — into a
+	// bounded ring for §5-style offline audits. Recording happens on the
+	// emitter goroutine in deterministic (slot, terminal) order.
+	Trace *telemetry.DecisionTrace
+	// TraceRejects bounds the rejected candidates kept per decision.
+	// 0 selects 3.
+	TraceRejects int
+}
+
+// NewCampaignMetrics registers the campaign metric families. Returns
+// nil on a nil registry; every method is safe on a nil bundle.
+func NewCampaignMetrics(reg *telemetry.Registry) *CampaignMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CampaignMetrics{
+		Slots:       reg.Counter("campaign_slots_total", "slots dispatched by the campaign engine"),
+		Records:     reg.Counter("campaign_records_total", "slot x terminal records emitted"),
+		Served:      reg.Counter("campaign_served_total", "emitted records with a valid chosen satellite"),
+		Skips:       reg.CounterVec("campaign_skips_total", "emitted records skipped, by reason", "reason"),
+		QueueDepth:  reg.Gauge("campaign_queue_depth", "slots in flight between producer and emitter"),
+		SlotsPerSec: reg.FloatGauge("campaign_slots_per_second", "slot throughput of the most recent campaign"),
+		Matcher:     dtw.NewMetrics(reg),
+	}
+}
+
+// slotProduced marks one slot dispatched into the engine.
+func (m *CampaignMetrics) slotProduced() {
+	if m == nil {
+		return
+	}
+	m.Slots.Inc()
+	m.QueueDepth.Add(1)
+}
+
+// slotEmitted marks one slot fully drained by the emitter.
+func (m *CampaignMetrics) slotEmitted() {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Add(-1)
+}
+
+// observeRecord folds one emitted record in. Called from exactly one
+// goroutine (the serial loop or the parallel emitter), in emission
+// order — the same contract as CampaignStats.observe.
+func (m *CampaignMetrics) observeRecord(rec *SlotRecord) {
+	if m == nil {
+		return
+	}
+	m.Records.Inc()
+	if rec.ChosenIdx >= 0 {
+		m.Served.Inc()
+	}
+	if rec.SkipReason != "" {
+		m.Skips.With(rec.SkipReason).Inc()
+	}
+	if m.Trace != nil {
+		m.Trace.Record(m.decision(rec))
+	}
+}
+
+// decision projects a record into the trace schema: the chosen
+// satellite's observables plus the top rejected candidates by
+// elevation — the scheduler's dominant preference, so these are the
+// most informative non-picks.
+func (m *CampaignMetrics) decision(rec *SlotRecord) telemetry.Decision {
+	d := telemetry.Decision{
+		SlotStart:  rec.SlotStart,
+		Terminal:   rec.Terminal,
+		SkipReason: rec.SkipReason,
+	}
+	if rec.ChosenIdx >= 0 {
+		c := rec.Available[rec.ChosenIdx]
+		d.ChosenID = c.ID
+		d.ChosenAOE = c.ElevationDeg
+	}
+	k := m.TraceRejects
+	if k <= 0 {
+		k = 3
+	}
+	rejected := make([]telemetry.RejectedCandidate, 0, len(rec.Available))
+	for i, s := range rec.Available {
+		if i == rec.ChosenIdx {
+			continue
+		}
+		rejected = append(rejected, telemetry.RejectedCandidate{
+			SatID:      s.ID,
+			AOEDeg:     s.ElevationDeg,
+			AzimuthDeg: s.AzimuthDeg,
+			AgeYears:   s.AgeYears,
+			Sunlit:     s.Sunlit,
+		})
+	}
+	sort.Slice(rejected, func(i, j int) bool {
+		if rejected[i].AOEDeg != rejected[j].AOEDeg {
+			return rejected[i].AOEDeg > rejected[j].AOEDeg
+		}
+		return rejected[i].SatID < rejected[j].SatID
+	})
+	if len(rejected) > k {
+		rejected = rejected[:k]
+	}
+	d.Rejected = rejected
+	return d
+}
+
+// flushMatcher folds one worker's matcher counters in (atomic adds —
+// workers flush concurrently at exit).
+func (m *CampaignMetrics) flushMatcher(s dtw.MatcherStats) {
+	if m == nil {
+		return
+	}
+	m.Matcher.AddStats(s)
+}
+
+// campaignDone publishes the end-to-end throughput of a completed run.
+func (m *CampaignMetrics) campaignDone(slots int, elapsed time.Duration) {
+	if m == nil || elapsed <= 0 {
+		return
+	}
+	m.SlotsPerSec.Set(float64(slots) / elapsed.Seconds())
+}

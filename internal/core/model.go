@@ -104,6 +104,9 @@ type ModelConfig struct {
 	// search, cross-validation, and the final forest fit (0 =
 	// GOMAXPROCS, 1 = serial). Results are bit-identical at any value.
 	Workers int
+	// Metrics, when non-nil, receives training telemetry from every
+	// forest fitted (grid-search folds and the final fit alike).
+	Metrics *ml.Metrics
 }
 
 func (c *ModelConfig) applyDefaults() {
@@ -181,6 +184,7 @@ func TrainModelCtx(ctx context.Context, d *ml.Dataset, cfg ModelConfig) (*ModelR
 	for i, g := range cfg.Grid {
 		g.Seed = cfg.Seed + int64(i) + 1
 		g.Workers = cfg.Workers
+		g.Metrics = cfg.Metrics
 		grid[i] = g
 	}
 	points, err := ml.GridSearchCtx(ctx, train, grid, cfg.Folds, cfg.GridTopK, cfg.Seed, cfg.Workers)

@@ -78,10 +78,20 @@ func RunCampaignStream(ctx context.Context, cfg CampaignConfig, emit EmitFunc) (
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 1 {
-		return streamSerial(ctx, cfg, terms, emit)
+	var t0 time.Time
+	if cfg.Metrics != nil {
+		t0 = time.Now()
 	}
-	return streamParallel(ctx, cfg, terms, workers, emit)
+	var stats *CampaignStats
+	if workers <= 1 {
+		stats, err = streamSerial(ctx, cfg, terms, emit)
+	} else {
+		stats, err = streamParallel(ctx, cfg, terms, workers, emit)
+	}
+	if err == nil && cfg.Metrics != nil {
+		cfg.Metrics.campaignDone(cfg.Slots, time.Since(t0))
+	}
+	return stats, err
 }
 
 // prepareCampaign validates the config, applies defaults, and resolves
@@ -124,6 +134,7 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
 		snap := cfg.Identifier.cons.Snapshot(slotStart)
 		allocs := cfg.Scheduler.Allocate(slotStart)
+		cfg.Metrics.slotProduced()
 
 		if cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
 			for _, m := range maps {
@@ -135,11 +146,14 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, snap, allocs,
 				&stats.Attempted, &stats.Correct, &stats.Failed)
 			stats.observe(&rec)
+			cfg.Metrics.observeRecord(&rec)
 			if err := emit(rec); err != nil {
 				return nil, err
 			}
 		}
+		cfg.Metrics.slotEmitted()
 	}
+	cfg.Metrics.flushMatcher(matcher.Stats)
 	return stats, nil
 }
 
@@ -262,6 +276,7 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				}
 			}
 			tallies[w] = c
+			cfg.Metrics.flushMatcher(matcher.Stats)
 		}(w)
 	}
 
@@ -287,12 +302,14 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				cell := ring[next%window]
 				for ti := range cell {
 					stats.observe(&cell[ti])
+					cfg.Metrics.observeRecord(&cell[ti])
 					if err := emit(cell[ti]); err != nil {
 						emitErr = err
 						cancel()
 						return
 					}
 				}
+				cfg.Metrics.slotEmitted()
 				next++
 				select {
 				case tokens <- struct{}{}:
@@ -317,6 +334,7 @@ produce:
 		snapLeft[i].Store(int32(nTerms))
 		t := slotTime(slot)
 		item := slotItem{slot: slot, slotStart: t, allocs: cfg.Scheduler.Allocate(t)}
+		cfg.Metrics.slotProduced()
 		for _, ch := range chans {
 			select {
 			case ch <- item:

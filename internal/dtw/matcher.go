@@ -29,6 +29,10 @@ type MatcherStats struct {
 	// PassesSkipped counts directional passes skipped because that
 	// direction's endpoint bound alone cleared the bar.
 	PassesSkipped int
+	// Cells counts DTW cost-matrix cells actually evaluated — the
+	// ground-truth work metric the pruning cascade exists to shrink
+	// (a brute-force pass evaluates n×m of them).
+	Cells int64
 }
 
 // Matcher is a reusable satellite-identification engine that produces
@@ -344,6 +348,7 @@ func (mt *Matcher) abandoningDistance(a, b []Point, bar float64) (raw float64, o
 		}
 		cur[0] = inf
 		rowMin := inf
+		mt.Stats.Cells += int64(hi - lo + 1)
 		for j := lo; j <= hi; j++ {
 			d := dist(a[i-1], b[j-1])
 			v := d + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))

@@ -20,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Scale selects constellation density. The analyses' shapes are stable
@@ -76,6 +77,13 @@ type Config struct {
 	// core.CampaignConfig.Workers). 0 uses all CPUs; 1 forces the
 	// serial engine.
 	Workers int
+	// Telemetry, when non-nil, wires the environment's scheduler,
+	// campaigns, pipelines, and model training into the registry. Nil
+	// (the default) keeps every hot path on its uninstrumented branch.
+	Telemetry *telemetry.Registry
+	// TraceDecisions, when > 0, records the last N campaign decisions
+	// into a telemetry.DecisionTrace ring (Env.Trace).
+	TraceDecisions int
 }
 
 // Env is a ready-to-run reproduction environment.
@@ -90,6 +98,20 @@ type Env struct {
 	// Ctx, when non-nil, cancels this environment's campaign loops
 	// (cmd/repro wires Ctrl-C here). Nil means context.Background().
 	Ctx context.Context
+	// Telemetry is the registry every layer reports into (nil when
+	// disabled).
+	Telemetry *telemetry.Registry
+	// Metrics is the campaign instrumentation bundle shared by every
+	// campaign this environment runs (nil when telemetry is disabled).
+	Metrics *core.CampaignMetrics
+}
+
+// Trace returns the decision-trace ring, nil when tracing is off.
+func (e *Env) Trace() *telemetry.DecisionTrace {
+	if e.Metrics == nil {
+		return nil
+	}
+	return e.Metrics.Trace
 }
 
 // ctx returns the environment's cancellation context.
@@ -129,6 +151,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		Weights:          cfg.Weights,
 		GSOProtectionDeg: cfg.GSOProtectionDeg,
 		Seed:             cfg.Seed,
+		Telemetry:        cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build scheduler: %w", err)
@@ -137,7 +160,18 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed, Workers: cfg.Workers}, nil
+	e := &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed,
+		Workers: cfg.Workers, Telemetry: cfg.Telemetry}
+	e.Metrics = core.NewCampaignMetrics(cfg.Telemetry)
+	if cfg.TraceDecisions > 0 {
+		if e.Metrics == nil {
+			// Tracing without a registry: an otherwise-empty bundle still
+			// carries the ring (all metric handles nil-safe no-ops).
+			e.Metrics = &core.CampaignMetrics{}
+		}
+		e.Metrics.Trace = telemetry.NewDecisionTrace(cfg.TraceDecisions)
+	}
+	return e, nil
 }
 
 // Start returns the campaign start time (one hour past the TLE epoch,
@@ -360,10 +394,12 @@ func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
 		Start:      e.Start(),
 		Slots:      slots,
 		Workers:    e.Workers,
+		Metrics:    e.Metrics,
 	}}
 	var margins []float64
 	p := &pipeline.Pipeline{
-		Source: src,
+		Source:  src,
+		Metrics: pipeline.NewMetrics(e.Telemetry),
 		Sinks: []pipeline.Sink{pipeline.SinkFunc(func(rec *pipeline.Record) error {
 			if rec.SkipReason == "" && rec.Margin > 0 {
 				margins = append(margins, rec.Margin)
@@ -400,6 +436,7 @@ func (e *Env) CampaignSource(slots int, oracle bool) *pipeline.Campaign {
 		Slots:      slots,
 		Oracle:     oracle,
 		Workers:    e.Workers,
+		Metrics:    e.Metrics,
 	}}
 }
 
@@ -410,9 +447,10 @@ func (e *Env) CampaignSource(slots int, oracle bool) *pipeline.Campaign {
 func (e *Env) StreamObservations(slots int, sinks ...pipeline.Sink) (*core.CampaignStats, error) {
 	src := e.CampaignSource(slots, true)
 	p := &pipeline.Pipeline{
-		Source: src,
-		Stages: []pipeline.Stage{pipeline.ChosenOnly()},
-		Sinks:  sinks,
+		Source:  src,
+		Stages:  []pipeline.Stage{pipeline.ChosenOnly()},
+		Sinks:   sinks,
+		Metrics: pipeline.NewMetrics(e.Telemetry),
 	}
 	if err := p.Run(e.ctx()); err != nil {
 		return nil, err
@@ -520,6 +558,9 @@ func (e *Env) Fig8(obs []core.Observation, cfg core.ModelConfig) (*core.ModelRes
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = e.Workers
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = ml.NewMetrics(e.Telemetry)
 	}
 	return core.TrainModelCtx(e.ctx(), d, cfg)
 }

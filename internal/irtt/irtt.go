@@ -25,8 +25,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Wire constants.
@@ -366,15 +369,18 @@ type Summary struct {
 	Sent, Received            int
 	LossRate                  float64
 	MinRTT, MedianRTT, MaxRTT time.Duration
+	P95RTT, P99RTT            time.Duration
 }
 
-// Summarize computes loss and RTT quantiles.
+// Summarize computes loss and RTT quantiles. Quantiles interpolate
+// linearly between order statistics (stats.Quantile), so the median of
+// an even-length series is the midpoint of the central pair.
 func Summarize(rs []Result) Summary {
 	s := Summary{Sent: len(rs)}
-	var rtts []time.Duration
+	rtts := make([]float64, 0, len(rs))
 	for _, r := range rs {
 		if !r.Lost {
-			rtts = append(rtts, r.RTT)
+			rtts = append(rtts, float64(r.RTT))
 		}
 	}
 	s.Received = len(rtts)
@@ -384,14 +390,11 @@ func Summarize(rs []Result) Summary {
 	if len(rtts) == 0 {
 		return s
 	}
-	// Insertion sort; probe counts are small.
-	for i := 1; i < len(rtts); i++ {
-		for j := i; j > 0 && rtts[j] < rtts[j-1]; j-- {
-			rtts[j], rtts[j-1] = rtts[j-1], rtts[j]
-		}
-	}
-	s.MinRTT = rtts[0]
-	s.MedianRTT = rtts[len(rtts)/2]
-	s.MaxRTT = rtts[len(rtts)-1]
+	sort.Float64s(rtts)
+	s.MinRTT = time.Duration(rtts[0])
+	s.MedianRTT = time.Duration(stats.Quantile(rtts, 0.5))
+	s.P95RTT = time.Duration(stats.Quantile(rtts, 0.95))
+	s.P99RTT = time.Duration(stats.Quantile(rtts, 0.99))
+	s.MaxRTT = time.Duration(rtts[len(rtts)-1])
 	return s
 }

@@ -187,6 +187,47 @@ func TestSummarizeOrderStats(t *testing.T) {
 	}
 }
 
+// TestSummarizeQuantiles pins the interpolated quantiles across the
+// edge shapes: empty, single sample, and even/odd series lengths.
+func TestSummarizeQuantiles(t *testing.T) {
+	ms := func(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+	series := func(ns ...float64) []Result {
+		rs := make([]Result, len(ns))
+		for i, n := range ns {
+			rs[i] = Result{RTT: ms(n)}
+		}
+		return rs
+	}
+	cases := []struct {
+		name                  string
+		rs                    []Result
+		median, p95, p99, max time.Duration
+	}{
+		{"empty", nil, 0, 0, 0, 0},
+		{"single", series(42), ms(42), ms(42), ms(42), ms(42)},
+		// Even length: the median interpolates between the central pair,
+		// p95/p99 between the last two order statistics.
+		{"even", series(40, 10, 30, 20), ms(25), ms(38.5), ms(39.7), ms(40)},
+		// Odd length: the median is the middle sample exactly.
+		{"odd", series(50, 10, 30, 20, 40), ms(30), ms(48), ms(49.6), ms(50)},
+	}
+	// Interpolation goes through float64 nanoseconds; allow a 1 us slop
+	// on the exact arithmetic.
+	close := func(a, b time.Duration) bool {
+		d := a - b
+		return d > -time.Microsecond && d < time.Microsecond
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.rs)
+			if !close(s.MedianRTT, tc.median) || !close(s.P95RTT, tc.p95) || !close(s.P99RTT, tc.p99) || s.MaxRTT != tc.max {
+				t.Errorf("got median=%v p95=%v p99=%v max=%v, want %v / %v / %v / %v",
+					s.MedianRTT, s.P95RTT, s.P99RTT, s.MaxRTT, tc.median, tc.p95, tc.p99, tc.max)
+			}
+		})
+	}
+}
+
 func TestServerIgnoresGarbage(t *testing.T) {
 	srv, _ := startServer(t, nil)
 	// Fire garbage at the server, then verify a normal run still works.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ForestConfig controls random-forest training.
@@ -19,6 +20,9 @@ type ForestConfig struct {
 	// 1 forces the serial path. The trained forest is bit-identical at
 	// any worker count — every random draw happens serially up front.
 	Workers int
+	// Metrics, when non-nil, receives training counters and timings.
+	// Observational only; the fitted forest is unaffected.
+	Metrics *Metrics
 }
 
 func (c ForestConfig) normalized() ForestConfig {
@@ -93,6 +97,10 @@ func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, e
 		numFeatures: len(d.X[0]),
 	}
 
+	var fitStart time.Time
+	if cfg.Metrics != nil {
+		fitStart = time.Now()
+	}
 	workers := resolveWorkers(cfg.Workers, cfg.NumTrees)
 	if workers == 1 {
 		b := &treeBuilder{}
@@ -104,7 +112,11 @@ func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, e
 			if err != nil {
 				return nil, fmt.Errorf("ml: tree %d: %w", i, err)
 			}
+			cfg.Metrics.treeFitted(b.extract)
 			f.trees[i] = t
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.observeFit(time.Since(fitStart))
 		}
 		return f, nil
 	}
@@ -127,6 +139,7 @@ func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, e
 					errs[i] = err
 					return
 				}
+				cfg.Metrics.treeFitted(b.extract)
 				f.trees[i] = t
 			}
 		}()
@@ -139,6 +152,9 @@ func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, e
 		if err != nil {
 			return nil, fmt.Errorf("ml: tree %d: %w", i, err)
 		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.observeFit(time.Since(fitStart))
 	}
 	return f, nil
 }

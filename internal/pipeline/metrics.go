@@ -1,0 +1,59 @@
+package pipeline
+
+import "repro/internal/telemetry"
+
+// Metrics is the pipeline's telemetry bundle: record flow counters,
+// stage/sink latency histograms, and how long the source spent blocked
+// on the hand-off channel (the backpressure signal — a rising value
+// means the sinks, not the source, bound throughput). A nil bundle
+// (the default) keeps Run on its untimed path.
+type Metrics struct {
+	// In counts records the consumer received from the source; Out
+	// counts records that cleared the stages and reached the sinks;
+	// Dropped counts records a stage filtered out.
+	In      *telemetry.Counter
+	Out     *telemetry.Counter
+	Dropped *telemetry.Counter
+	// SourceBlockedNanos accumulates time the source spent blocked
+	// pushing into the full hand-off channel.
+	SourceBlockedNanos *telemetry.Counter
+	// StageSeconds and SinkSeconds observe the per-record latency of the
+	// whole stage chain and the whole sink chain respectively.
+	StageSeconds *telemetry.Histogram
+	SinkSeconds  *telemetry.Histogram
+}
+
+// NewMetrics registers the pipeline metric families. Returns nil on a
+// nil registry (telemetry disabled).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		In:                 reg.Counter("pipeline_records_in_total", "records received from the source"),
+		Out:                reg.Counter("pipeline_records_out_total", "records that cleared the stages and reached the sinks"),
+		Dropped:            reg.Counter("pipeline_records_dropped_total", "records filtered out by a stage"),
+		SourceBlockedNanos: reg.Counter("pipeline_source_blocked_nanos_total", "time the source spent blocked on the hand-off channel"),
+		StageSeconds:       reg.Histogram("pipeline_stage_seconds", "per-record latency of the stage chain", nil),
+		SinkSeconds:        reg.Histogram("pipeline_sink_seconds", "per-record latency of the sink chain", nil),
+	}
+}
+
+// in/out/dropped are the consumer loop's nil-safe record-flow marks.
+func (m *Metrics) in() {
+	if m != nil {
+		m.In.Inc()
+	}
+}
+
+func (m *Metrics) out() {
+	if m != nil {
+		m.Out.Inc()
+	}
+}
+
+func (m *Metrics) dropped() {
+	if m != nil {
+		m.Dropped.Inc()
+	}
+}

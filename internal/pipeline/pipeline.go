@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 )
@@ -75,6 +76,10 @@ type Pipeline struct {
 	// backpressures the source instead of queueing the stream, which is
 	// what keeps arbitrarily long runs in O(1) memory.
 	Buffer int
+	// Metrics, when non-nil, counts and times the record flow. Nil (the
+	// default) keeps Run on its untimed path — no clock reads per
+	// record.
+	Metrics *Metrics
 }
 
 // Run drives the pipeline until the source is exhausted, a stage or
@@ -95,6 +100,7 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	m := p.Metrics
 	ch := make(chan Record, buffer)
 	var srcErr error
 	done := make(chan struct{})
@@ -102,6 +108,17 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		defer close(done)
 		defer close(ch)
 		srcErr = p.Source.Stream(ctx, func(rec Record) error {
+			if m != nil {
+				// Try the fast path first so the clock is only read when
+				// the channel actually backpressures.
+				select {
+				case ch <- rec:
+					return nil
+				default:
+				}
+				t0 := time.Now()
+				defer func() { m.SourceBlockedNanos.Add(time.Since(t0).Nanoseconds()) }()
+			}
 			select {
 			case ch <- rec:
 				return nil
@@ -114,7 +131,12 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	var stopErr error
 consume:
 	for rec := range ch {
+		m.in()
 		keep := true
+		var stageStart time.Time
+		if m != nil && len(p.Stages) > 0 {
+			stageStart = time.Now()
+		}
 		for _, stage := range p.Stages {
 			var err error
 			if keep, err = stage(&rec); err != nil {
@@ -125,14 +147,26 @@ consume:
 				break
 			}
 		}
+		if m != nil && len(p.Stages) > 0 {
+			m.StageSeconds.Observe(time.Since(stageStart).Seconds())
+		}
 		if !keep {
+			m.dropped()
 			continue
+		}
+		m.out()
+		var sinkStart time.Time
+		if m != nil {
+			sinkStart = time.Now()
 		}
 		for _, s := range p.Sinks {
 			if err := s.Consume(&rec); err != nil {
 				stopErr = err
 				break consume
 			}
+		}
+		if m != nil {
+			m.SinkSeconds.Observe(time.Since(sinkStart).Seconds())
 		}
 	}
 	if stopErr != nil {

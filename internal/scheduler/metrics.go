@@ -1,0 +1,44 @@
+package scheduler
+
+import "repro/internal/telemetry"
+
+// Metrics is the ground-truth controller's telemetry bundle. It
+// observes only what the controller already computes — allocations
+// made, terminal-slots left unserved, and the eligible-candidate count
+// per decision — never the hidden load or battery state, so exposing
+// it cannot leak unobservables into the inference pipeline.
+type Metrics struct {
+	Allocations *telemetry.Counter
+	Unserved    *telemetry.Counter
+	Candidates  *telemetry.Histogram
+}
+
+// candidateBuckets spans the paper's densities: a few satellites in
+// view at small scale, ~40 at the full constellation.
+var candidateBuckets = []float64{0, 1, 2, 5, 10, 20, 40, 80}
+
+// NewMetrics registers the scheduler metric families. Returns nil on a
+// nil registry (telemetry disabled).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Allocations: reg.Counter("scheduler_allocations_total", "terminal-slots allocated a satellite"),
+		Unserved:    reg.Counter("scheduler_unserved_total", "terminal-slots with no eligible satellite"),
+		Candidates:  reg.Histogram("scheduler_candidates", "eligible satellites per allocation decision", candidateBuckets),
+	}
+}
+
+// observe records one allocation decision.
+func (m *Metrics) observe(candidates int, served bool) {
+	if m == nil {
+		return
+	}
+	m.Candidates.Observe(float64(candidates))
+	if served {
+		m.Allocations.Inc()
+	} else {
+		m.Unserved.Inc()
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/geo"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -146,6 +147,9 @@ type Config struct {
 	GSMinElevationDeg float64
 	// Seed drives load evolution and score noise.
 	Seed int64
+	// Telemetry, when non-nil, receives allocation counters (see
+	// Metrics). Observational only; allocations are unaffected.
+	Telemetry *telemetry.Registry
 }
 
 // Global is the ground-truth global controller.
@@ -177,6 +181,9 @@ type Global struct {
 
 	// launch window bounds for recency normalization.
 	oldest, newest time.Time
+
+	// metrics is nil when telemetry is disabled.
+	metrics *Metrics
 }
 
 // NewGlobal builds the controller.
@@ -203,6 +210,7 @@ func NewGlobal(cfg Config) (*Global, error) {
 		gso:     make(map[string]*geo.GSOExclusion, len(cfg.Terminals)),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		load:    make(map[int]float64, cfg.Constellation.Len()),
+		metrics: NewMetrics(cfg.Telemetry),
 	}
 	switch {
 	case cfg.GSOProtectionDeg < 0:
@@ -305,6 +313,7 @@ func (g *Global) Allocate(t time.Time) []Allocation {
 	for _, term := range g.terms {
 		cands := g.candidates(term, snap)
 		alloc := Allocation{Terminal: term.Name, SlotStart: slotStart, Candidates: len(cands)}
+		g.metrics.observe(len(cands), len(cands) > 0)
 		if len(cands) > 0 {
 			best := cands[0]
 			for _, c := range cands[1:] {

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// promType names a metric family's Prometheus type line.
+func (m metric) promType() string {
+	switch {
+	case m.c != nil, m.vec != nil:
+		return "counter"
+	case m.h != nil:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func (m metric) help() string {
+	switch {
+	case m.c != nil:
+		return m.c.help
+	case m.g != nil:
+		return m.g.help
+	case m.fg != nil:
+		return m.fg.help
+	case m.h != nil:
+		return m.h.help
+	case m.vec != nil:
+		return m.vec.help
+	}
+	return ""
+}
+
+// formatFloat renders a float the way Prometheus text format expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Nil-safe: a nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	ordered := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range ordered {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help())
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.promType())
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.g.Value())
+		case m.fg != nil:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fg.Value()))
+		case m.h != nil:
+			cum := uint64(0)
+			for i := range m.h.counts {
+				cum += m.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.h.bounds) {
+					le = formatFloat(m.h.bounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, formatFloat(m.h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, m.h.Count())
+		case m.vec != nil:
+			vals := m.vec.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", m.name, m.vec.label, k, vals[k])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the registry as one JSON object, expvar-style: a
+// flat map from metric name (canonical name{label="value"} keys for
+// labeled counters) to value; histograms render as objects with
+// bounds, per-bucket counts, count, and sum. Keys are sorted by Go's
+// JSON map marshalling, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.FloatGauge)+len(s.Histograms))
+	for k, v := range s.Counters {
+		flat[k] = v
+	}
+	for k, v := range s.Gauges {
+		flat[k] = v
+	}
+	for k, v := range s.FloatGauge {
+		flat[k] = v
+	}
+	for k, v := range s.Histograms {
+		flat[k] = map[string]any{
+			"bounds": v.Bounds,
+			"counts": v.Counts,
+			"count":  v.Count,
+			"sum":    v.Sum,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}
+
+// Server is the opt-in exposition endpoint: /metrics (Prometheus
+// text), /debug/vars (expvar-style JSON), and /debug/pprof. It binds
+// eagerly (so the caller learns about port conflicts immediately) and
+// serves until its context is cancelled, then shuts down gracefully.
+type Server struct {
+	lis  net.Listener
+	srv  *http.Server
+	done chan error
+}
+
+// Handler builds the exposition mux for a registry — also usable under
+// a caller's own HTTP server. A nil trace omits /debug/decisions.
+func Handler(reg *Registry, trace *DecisionTrace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	if trace != nil {
+		mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+			trace.WriteJSONL(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer binds addr and serves the exposition endpoint in the
+// background. The server stops — gracefully, draining in-flight
+// requests for up to two seconds — when ctx is cancelled; Wait returns
+// the terminal error. trace may be nil.
+func StartServer(ctx context.Context, addr string, reg *Registry, trace *DecisionTrace) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %q: %w", addr, err)
+	}
+	s := &Server{
+		lis:  lis,
+		srv:  &http.Server{Handler: Handler(reg, trace)},
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(lis)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.srv.Shutdown(shutCtx)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Wait blocks until the server has stopped and returns its terminal
+// error (nil on a clean shutdown).
+func (s *Server) Wait() error { return <-s.done }

@@ -14,6 +14,13 @@
 # one campaign per variant is the measurement; iterating would only
 # repeat it.
 #
+# PR5 adds the telemetry-overhead pair — BenchmarkCampaignParallel
+# (nil metrics bundle, the Nop path) against
+# BenchmarkCampaignParallelTelemetry (live registry + decision trace):
+# the Telemetry variant's ns_per_op must stay within 3% of the
+# baseline. The internal/telemetry record-path benchmarks must report
+# 0 allocs/op for CounterInc and HistogramObserve.
+#
 # Only the standard library and POSIX awk are assumed. The raw `go
 # test -bench` lines pass through on stderr so a terminal run stays
 # readable.
@@ -31,6 +38,10 @@ trap 'rm -f "$tmp"' EXIT
         -benchmem -benchtime="$benchtime"
     go test . -run='^$' -bench='^BenchmarkCampaignMemory' \
         -benchmem -benchtime=1x
+    go test . -run='^$' -bench='^BenchmarkCampaign(Serial|Parallel(Telemetry)?)$' \
+        -benchmem -benchtime="$benchtime"
+    go test ./internal/telemetry -run='^$' -bench=. \
+        -benchmem -benchtime="$benchtime"
 } | tee "$tmp" >&2
 
 awk '
