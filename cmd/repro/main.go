@@ -61,6 +61,7 @@ type options struct {
 	traceDepth    int
 	traceOut      string
 	verbose       bool
+	noIndex       bool
 }
 
 func main() {
@@ -79,6 +80,7 @@ func main() {
 	flag.IntVar(&opt.traceDepth, "trace-decisions", 0, "keep the last n campaign scheduling decisions in a ring")
 	flag.StringVar(&opt.traceOut, "trace-out", "", "write the decision ring as JSONL to this file on exit")
 	flag.BoolVar(&opt.verbose, "v", false, "print the telemetry counter summary on exit")
+	flag.BoolVar(&opt.noIndex, "no-index", false, "disable the spatial visibility index (ablation; identical results, linear scans)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|all")
@@ -108,7 +110,7 @@ func run(ctx context.Context, what string, opt options) error {
 	}
 	env, err := experiments.NewEnv(experiments.Config{
 		Scale: experiments.Scale(opt.scale), Seed: opt.seed, Workers: opt.workers,
-		Telemetry: reg, TraceDecisions: traceDepth,
+		Telemetry: reg, TraceDecisions: traceDepth, DisableIndex: opt.noIndex,
 	})
 	if err != nil {
 		return err
@@ -234,9 +236,28 @@ func run(ctx context.Context, what string, opt options) error {
 		}
 	}
 	if opt.verbose {
+		printPropagationSkips(env)
 		printTelemetry(reg)
 	}
 	return nil
+}
+
+// printPropagationSkips reports, once per distinct satellite, the
+// propagation failures that silently shrank snapshots during the run.
+func printPropagationSkips(env *experiments.Env) {
+	total, bySat := env.Cons.PropagationSkips()
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "repro: %d propagation skips across %d satellites:\n", total, len(bySat))
+	ids := make([]int, 0, len(bySat))
+	for id := range bySat {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "repro:   sat %d: %s\n", id, bySat[id])
+	}
 }
 
 // dumpTrace writes the environment's decision ring as JSONL.
@@ -560,6 +581,9 @@ func takeSkips(reg *telemetry.Registry) map[string]int64 {
 func printCampaignStats(st *core.CampaignStats, reg *telemetry.Registry, before map[string]int64) {
 	fmt.Printf("# campaign: %d records (%d slots x %d terminals), %d served, %d dropped\n",
 		st.Records, st.Slots, st.Terminals, st.Served, st.Dropped())
+	if st.PropagationSkips > 0 {
+		fmt.Printf("#   %6d satellite-slots lost to propagation failures\n", st.PropagationSkips)
+	}
 	if reg != nil {
 		keys, vals := reg.Snapshot().CountersWithPrefix(skipPrefix)
 		for i, k := range keys {

@@ -126,13 +126,40 @@ type LookAngles struct {
 // Observe computes the look angles from an observer (geodetic) to a
 // satellite position in ECEF km.
 func Observe(obs Geodetic, satECEF units.Vec3) LookAngles {
-	obsECEF := obs.ToECEF()
-	d := satECEF.Sub(obsECEF)
+	o := NewObserver(obs)
+	return o.Observe(satECEF)
+}
 
+// Observer is a ground observer with its ECEF position and local-frame
+// rotation precomputed. Construct once per site and reuse when many
+// satellites are observed from the same point: Observer.Observe is
+// bit-identical to the package-level Observe (same operations in the
+// same order) at a fraction of the cost — the geodetic→ECEF conversion
+// and the four trig calls are hoisted out of the per-satellite loop.
+type Observer struct {
+	ecef                           units.Vec3
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+// NewObserver precomputes the observer-side terms of Observe.
+func NewObserver(obs Geodetic) Observer {
 	lat := units.Deg2Rad(obs.LatDeg)
 	lon := units.Deg2Rad(obs.LonDeg)
-	sinLat, cosLat := math.Sin(lat), math.Cos(lat)
-	sinLon, cosLon := math.Sin(lon), math.Cos(lon)
+	return Observer{
+		ecef:   obs.ToECEF(),
+		sinLat: math.Sin(lat), cosLat: math.Cos(lat),
+		sinLon: math.Sin(lon), cosLon: math.Cos(lon),
+	}
+}
+
+// ECEF returns the observer's precomputed ECEF position in km.
+func (o *Observer) ECEF() units.Vec3 { return o.ecef }
+
+// Observe computes the look angles to a satellite position in ECEF km.
+func (o *Observer) Observe(satECEF units.Vec3) LookAngles {
+	d := satECEF.Sub(o.ecef)
+	sinLat, cosLat := o.sinLat, o.cosLat
+	sinLon, cosLon := o.sinLon, o.cosLon
 
 	// Rotate the difference vector into the local SEZ (south-east-zenith)
 	// frame.

@@ -12,10 +12,13 @@
 package constellation
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/astro"
@@ -71,6 +74,17 @@ type Constellation struct {
 	Sats  []*Satellite
 	byID  map[int]*Satellite
 	Epoch time.Time // TLE epoch shared by all satellites
+
+	// Fingerprint cache (see Fingerprint).
+	fpOnce sync.Once
+	fp     uint64
+
+	// Propagation-skip accounting (see Snapshot / PropagationSkips).
+	// Touched only on the failure path, so healthy constellations never
+	// contend on the mutex.
+	skipMu    sync.Mutex
+	skipTotal int64
+	skipBySat map[int]string
 }
 
 // Config controls constellation synthesis.
@@ -239,15 +253,28 @@ type SatState struct {
 
 // Snapshot propagates the whole constellation once for time t.
 // Satellites whose propagation fails (decayed/stale elements) are
-// skipped, mirroring how a TLE pipeline tolerates bad elements. Use
-// ObserveFrom to query the same snapshot from several observers
-// without re-propagating.
+// skipped, mirroring how a TLE pipeline tolerates bad elements — but
+// counted, not silently dropped: SnapshotSkipped returns the per-call
+// skip count and PropagationSkips accumulates the running total plus
+// the first error per distinct failing satellite. Use ObserveFrom to
+// query the same snapshot from several observers without
+// re-propagating.
 func (c *Constellation) Snapshot(t time.Time) []SatState {
+	out, _ := c.SnapshotSkipped(t)
+	return out
+}
+
+// SnapshotSkipped is Snapshot plus the number of satellites dropped
+// from this snapshot because their propagation failed.
+func (c *Constellation) SnapshotSkipped(t time.Time) ([]SatState, int) {
 	sun := astro.SunPositionECI(t)
 	out := make([]SatState, 0, len(c.Sats))
+	skipped := 0
 	for _, s := range c.Sats {
 		st, err := s.Propagator.PropagateAt(t)
 		if err != nil {
+			skipped++
+			c.recordSkip(s.ID, err)
 			continue
 		}
 		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
@@ -257,24 +284,113 @@ func (c *Constellation) Snapshot(t time.Time) []SatState {
 			Sunlit: sunlitGeocentric(st.Pos, sun),
 		})
 	}
-	return out
+	return out, skipped
+}
+
+// recordSkip folds one propagation failure into the constellation's
+// skip accounting, keeping the first error text per satellite.
+func (c *Constellation) recordSkip(id int, err error) {
+	c.skipMu.Lock()
+	c.skipTotal++
+	if c.skipBySat == nil {
+		c.skipBySat = make(map[int]string)
+	}
+	if _, seen := c.skipBySat[id]; !seen {
+		c.skipBySat[id] = err.Error()
+	}
+	c.skipMu.Unlock()
+}
+
+// PropagationSkips reports how many satellite propagations this
+// constellation has skipped across all snapshots, plus the first error
+// observed per distinct failing satellite. Safe for concurrent use.
+func (c *Constellation) PropagationSkips() (total int64, bySat map[int]string) {
+	c.skipMu.Lock()
+	defer c.skipMu.Unlock()
+	if len(c.skipBySat) > 0 {
+		bySat = make(map[int]string, len(c.skipBySat))
+		for id, msg := range c.skipBySat {
+			bySat[id] = msg
+		}
+	}
+	return c.skipTotal, bySat
+}
+
+// Fingerprint returns a stable hash of the constellation's identity:
+// every satellite's catalog number, orbital elements, launch metadata,
+// and propagator kind. Two constellations with equal fingerprints
+// produce identical snapshots at every time, which is what lets a
+// SnapshotCache share propagated states across independently built
+// environments. Computed once and cached.
+func (c *Constellation) Fingerprint() uint64 {
+	c.fpOnce.Do(func() {
+		h := fnv.New64a()
+		buf := make([]byte, 8)
+		wInt := func(v int64) {
+			binary.LittleEndian.PutUint64(buf, uint64(v))
+			h.Write(buf)
+		}
+		wFloat := func(v float64) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			h.Write(buf)
+		}
+		wInt(int64(len(c.Sats)))
+		wInt(c.Epoch.UnixNano())
+		for _, s := range c.Sats {
+			wInt(int64(s.ID))
+			wInt(s.Launch.UnixNano())
+			wInt(int64(s.LaunchIdx))
+			h.Write([]byte(s.Shell))
+			h.Write([]byte(fmt.Sprintf("%T", s.Propagator)))
+			if t := s.TLE; t != nil {
+				wInt(t.Epoch.UnixNano())
+				wFloat(t.InclinationDeg)
+				wFloat(t.RAANDeg)
+				wFloat(t.Eccentricity)
+				wFloat(t.ArgPerigeeDeg)
+				wFloat(t.MeanAnomalyDeg)
+				wFloat(t.MeanMotion)
+				wFloat(t.BStar)
+			} else {
+				wInt(-1) // synthetic satellite without elements
+			}
+		}
+		c.fp = h.Sum64()
+	})
+	return c.fp
 }
 
 // ObserveFrom filters a snapshot to the satellites above minElevDeg
-// for the observer, sorted by descending elevation.
+// for the observer, sorted by descending elevation with ties broken by
+// ascending satellite ID. The tie-break makes the order a total order:
+// equal-elevation satellites (common in synthetic Walker shells) come
+// out identically across runs, architectures, and — critically — across
+// the linear scan and the SnapshotIndex query path, which must agree
+// byte for byte.
 func ObserveFrom(obs astro.Geodetic, snap []SatState, minElevDeg float64) []Visible {
+	o := astro.NewObserver(obs)
 	var out []Visible
 	for _, st := range snap {
-		la := astro.Observe(obs, st.ECEF)
+		la := o.Observe(st.ECEF)
 		if la.ElevationDeg < minElevDeg {
 			continue
 		}
 		out = append(out, Visible{Sat: st.Sat, Look: la, Sunlit: st.Sunlit})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Look.ElevationDeg > out[j].Look.ElevationDeg
-	})
+	sortVisible(out)
 	return out
+}
+
+// sortVisible orders a visible set by descending elevation, ties by
+// ascending satellite ID — the one deterministic order every
+// visibility path (linear scan and index) must produce.
+func sortVisible(out []Visible) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Look.ElevationDeg != out[j].Look.ElevationDeg {
+			return out[i].Look.ElevationDeg > out[j].Look.ElevationDeg
+		}
+		return out[i].Sat.ID < out[j].Sat.ID
+	})
 }
 
 // FieldOfView returns all satellites above minElevDeg for the observer

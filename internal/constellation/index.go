@@ -1,0 +1,227 @@
+package constellation
+
+import (
+	"math"
+
+	"repro/internal/astro"
+	"repro/internal/units"
+)
+
+// SnapshotIndex buckets one propagated snapshot into a geocentric
+// lat/lon grid so that "which satellites are above minElev from
+// (lat, lon)" is answered in near-O(visible) instead of O(constellation).
+//
+// Geometry. A satellite at geocentric radius rs seen at elevation E by
+// an observer at radius ro subtends the Earth-central angle
+//
+//	λ(E) = acos((ro/rs)·cos E) − E
+//
+// (exact triangle geometry, no spherical-Earth assumption), so every
+// satellite above the mask lies within a spherical cap of radius
+// λmax = λ(minElev − margin) around the observer's geocentric
+// direction. The margin absorbs the only approximation in the chain:
+// astro.Observe measures elevation against the geodetic vertical,
+// which deviates from the geocentric vertical by at most ~0.2°. Cells
+// are sized from that footprint radius at the hardware's 25° mask and
+// the snapshot's highest shell, so a query touches a small constant
+// neighborhood of cells; candidates from those cells then pass through
+// the exact astro.Observe filter, which is why the index provably
+// returns the same set as the linear scan — the cap bound only ever
+// over-approximates. Results are sorted with sortVisible, so the order
+// matches the linear scan too.
+//
+// Masks low enough that minElev − margin drops below 0° (where the cap
+// bound degenerates) fall back to scanning every cell; the result is
+// still exact, just no faster than ObserveFrom.
+type SnapshotIndex struct {
+	snap []SatState
+
+	latCellDeg, lonCellDeg float64
+	latCells, lonCells     int
+	cells                  [][]int32 // snapshot indices per cell, snapshot order
+
+	maxRadiusKm float64 // largest geocentric satellite radius in the snapshot
+}
+
+// indexMaskRefDeg is the reference elevation mask the grid cell size is
+// derived from: the paper's (and Starlink's) 25° hardware mask.
+const indexMaskRefDeg = 25.0
+
+// indexMarginDeg guards the cap bound against the geodetic-vs-
+// geocentric vertical deflection (≤ ~0.2°); generously padded.
+const indexMarginDeg = 1.5
+
+// NewSnapshotIndex builds the grid over a propagated snapshot. Cost is
+// one pass over the snapshot; the snapshot slice is referenced, not
+// copied, and must not be mutated afterwards (snapshots never are).
+func NewSnapshotIndex(snap []SatState) *SnapshotIndex {
+	ix := &SnapshotIndex{snap: snap}
+	for i := range snap {
+		if r := snap[i].ECEF.Norm(); r > ix.maxRadiusKm {
+			ix.maxRadiusKm = r
+		}
+	}
+	// Cell size: the footprint radius at the 25° reference mask for the
+	// snapshot's highest shell, so a 25°-mask query scans a ~3×3 cell
+	// neighborhood. Clamped: tiny constellations or degenerate radii
+	// must not produce absurd grids.
+	cell := 8.0
+	if lam, ok := capRadiusDeg(units.EarthRadiusKm, ix.maxRadiusKm, indexMaskRefDeg-indexMarginDeg); ok {
+		cell = units.Clamp(lam, 2, 30)
+	}
+	ix.latCells = int(math.Ceil(180 / cell))
+	ix.latCellDeg = 180 / float64(ix.latCells)
+	ix.lonCells = int(math.Ceil(360 / cell))
+	ix.lonCellDeg = 360 / float64(ix.lonCells)
+	ix.cells = make([][]int32, ix.latCells*ix.lonCells)
+	for i := range snap {
+		ci := ix.cellOf(snap[i].ECEF)
+		ix.cells[ci] = append(ix.cells[ci], int32(i))
+	}
+	return ix
+}
+
+// Len returns the number of satellites indexed.
+func (ix *SnapshotIndex) Len() int { return len(ix.snap) }
+
+// Snapshot returns the indexed snapshot (shared, read-only).
+func (ix *SnapshotIndex) Snapshot() []SatState { return ix.snap }
+
+// Cells reports the grid dimensions (lat bands × lon columns).
+func (ix *SnapshotIndex) Cells() (lat, lon int) { return ix.latCells, ix.lonCells }
+
+// capRadiusDeg returns the Earth-central half-angle of the visibility
+// cap for an observer at radius ro, satellites at radius rs, elevation
+// mask elevDeg. ok is false when the geometry degenerates (satellite at
+// or below the observer's radius, or a mask where the bound is
+// meaningless).
+func capRadiusDeg(roKm, rsKm, elevDeg float64) (float64, bool) {
+	if elevDeg < 0 || rsKm <= roKm || roKm <= 0 {
+		return 0, false
+	}
+	e := units.Deg2Rad(elevDeg)
+	lam := math.Acos(units.Clamp(roKm/rsKm*math.Cos(e), -1, 1)) - e
+	if lam <= 0 {
+		return 0, false
+	}
+	return units.Rad2Deg(lam), true
+}
+
+// cellOf maps an ECEF position to its grid cell by geocentric lat/lon.
+func (ix *SnapshotIndex) cellOf(p units.Vec3) int {
+	latDeg := units.Rad2Deg(math.Asin(units.Clamp(p.Z/p.Norm(), -1, 1)))
+	lonDeg := units.Rad2Deg(math.Atan2(p.Y, p.X))
+	return ix.cellAt(latDeg, lonDeg)
+}
+
+// cellAt maps geocentric (lat, lon) degrees to a cell index.
+func (ix *SnapshotIndex) cellAt(latDeg, lonDeg float64) int {
+	lb := int((latDeg + 90) / ix.latCellDeg)
+	if lb < 0 {
+		lb = 0
+	}
+	if lb >= ix.latCells {
+		lb = ix.latCells - 1
+	}
+	lc := int(math.Floor((lonDeg + 180) / ix.lonCellDeg))
+	lc = ((lc % ix.lonCells) + ix.lonCells) % ix.lonCells
+	return lb*ix.lonCells + lc
+}
+
+// query is the shared cap→cells→exact-filter walk. For every satellite
+// in a cell the cap bound could contain, it computes the exact look
+// angles and calls visit for those at or above minElevDeg. Enumeration
+// order is grid order, NOT the deterministic output order — callers
+// that expose results must sort with sortVisible (ObserveFrom does).
+func (ix *SnapshotIndex) query(obs astro.Geodetic, minElevDeg float64, visit func(st *SatState, la astro.LookAngles)) {
+	o := astro.NewObserver(obs)
+	scan := func(cell []int32) {
+		for _, i := range cell {
+			st := &ix.snap[i]
+			la := o.Observe(st.ECEF)
+			if la.ElevationDeg < minElevDeg {
+				continue
+			}
+			visit(st, la)
+		}
+	}
+
+	oe := o.ECEF()
+	ro := oe.Norm()
+	lamDeg, ok := capRadiusDeg(ro, ix.maxRadiusKm, minElevDeg-indexMarginDeg)
+	if !ok {
+		// Degenerate geometry (mask near/below the horizon, or satellites
+		// at the observer's radius): correct but unaccelerated.
+		for _, cell := range ix.cells {
+			scan(cell)
+		}
+		return
+	}
+
+	// Geocentric direction of the observer; the cap of radius lamDeg
+	// around it bounds every above-mask satellite direction.
+	obsLat := units.Rad2Deg(math.Asin(units.Clamp(oe.Z/ro, -1, 1)))
+	obsLon := units.Rad2Deg(math.Atan2(oe.Y, oe.X))
+
+	latLo := int(math.Floor((obsLat - lamDeg + 90) / ix.latCellDeg))
+	latHi := int(math.Floor((obsLat + lamDeg + 90) / ix.latCellDeg))
+	if latLo < 0 {
+		latLo = 0
+	}
+	if latHi >= ix.latCells {
+		latHi = ix.latCells - 1
+	}
+
+	// Longitude extent of the cap (standard spherical bounding box): if
+	// the cap contains a pole, it spans every longitude; otherwise
+	// Δlon = asin(sin λ / cos φ_obs), and the wraparound walk below
+	// handles the antimeridian.
+	allLon := math.Abs(obsLat)+lamDeg >= 90
+	cols := ix.lonCells
+	lonLo := 0
+	if !allLon {
+		dLon := units.Rad2Deg(math.Asin(units.Clamp(
+			math.Sin(units.Deg2Rad(lamDeg))/math.Cos(units.Deg2Rad(obsLat)), -1, 1)))
+		lonLo = int(math.Floor((obsLon - dLon + 180) / ix.lonCellDeg))
+		cols = int(math.Floor((obsLon+dLon+180)/ix.lonCellDeg)) - lonLo + 1
+		if cols >= ix.lonCells {
+			cols = ix.lonCells
+			lonLo = 0
+		}
+	}
+
+	for lb := latLo; lb <= latHi; lb++ {
+		row := lb * ix.lonCells
+		for k := 0; k < cols; k++ {
+			lc := ((lonLo+k)%ix.lonCells + ix.lonCells) % ix.lonCells
+			scan(ix.cells[row+lc])
+		}
+	}
+}
+
+// ObserveFrom answers the same question as the package-level
+// ObserveFrom over this index's snapshot — identical set, identical
+// order, identical floats — in near-O(visible).
+func (ix *SnapshotIndex) ObserveFrom(obs astro.Geodetic, minElevDeg float64) []Visible {
+	return ix.AppendObserveFrom(nil, obs, minElevDeg)
+}
+
+// AppendObserveFrom is ObserveFrom appending into dst, for callers
+// reusing a scratch slice across queries.
+func (ix *SnapshotIndex) AppendObserveFrom(dst []Visible, obs astro.Geodetic, minElevDeg float64) []Visible {
+	base := len(dst)
+	ix.query(obs, minElevDeg, func(st *SatState, la astro.LookAngles) {
+		dst = append(dst, Visible{Sat: st.Sat, Look: la, Sunlit: st.Sunlit})
+	})
+	sortVisible(dst[base:])
+	return dst
+}
+
+// MarkVisibleIDs sets set[id] = true for every satellite at or above
+// minElevDeg from obs. Order-free (it fills a set), so no sort is paid;
+// used for the scheduler's gateway-visibility pass.
+func (ix *SnapshotIndex) MarkVisibleIDs(obs astro.Geodetic, minElevDeg float64, set map[int]bool) {
+	ix.query(obs, minElevDeg, func(st *SatState, _ astro.LookAngles) {
+		set[st.Sat.ID] = true
+	})
+}

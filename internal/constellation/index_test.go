@@ -1,0 +1,227 @@
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/astro"
+	"repro/internal/units"
+)
+
+// randomSnapshot builds a synthetic snapshot of n satellites at
+// uniformly random geocentric directions and LEO altitudes — harsher
+// than a Walker shell because it exercises every latitude band
+// including directly over the poles.
+func randomSnapshot(rng *rand.Rand, n int) []SatState {
+	snap := make([]SatState, 0, n)
+	for i := 0; i < n; i++ {
+		// Uniform direction on the sphere.
+		z := rng.Float64()*2 - 1
+		theta := rng.Float64() * 2 * math.Pi
+		r := units.EarthRadiusKm + 400 + rng.Float64()*800
+		xy := math.Sqrt(1 - z*z)
+		snap = append(snap, SatState{
+			Sat: &Satellite{ID: 1000 + i},
+			ECEF: units.Vec3{
+				X: r * xy * math.Cos(theta),
+				Y: r * xy * math.Sin(theta),
+				Z: r * z,
+			},
+			Sunlit: rng.Intn(2) == 0,
+		})
+	}
+	return snap
+}
+
+// TestIndexMatchesLinearScanProperty is the equivalence property test:
+// over randomized satellite geometries and observers — including the
+// poles and the antimeridian, the classic grid-wraparound traps — the
+// index must return exactly what the linear scan returns: same set,
+// same order, same floats.
+func TestIndexMatchesLinearScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	masks := []float64{1, 5, 25, 40} // 1° exercises the degenerate-cap fallback
+	for trial := 0; trial < 25; trial++ {
+		snap := randomSnapshot(rng, 200+rng.Intn(1800))
+		ix := NewSnapshotIndex(snap)
+
+		observers := []astro.Geodetic{
+			{LatDeg: rng.Float64()*180 - 90, LonDeg: rng.Float64()*360 - 180},
+			{LatDeg: 90},                  // north pole
+			{LatDeg: -90},                 // south pole
+			{LatDeg: 89.9, LonDeg: 45},    // inside every cap's pole case
+			{LatDeg: 0, LonDeg: 180},      // antimeridian
+			{LatDeg: 0, LonDeg: -180},     // antimeridian, negative form
+			{LatDeg: 51.2, LonDeg: 179.9}, // cap straddles the wrap
+			{LatDeg: -33.7, LonDeg: -179.95},
+			{LatDeg: rng.Float64()*20 + 60, LonDeg: rng.Float64()*360 - 180, AltKm: rng.Float64() * 3},
+		}
+		for _, obs := range observers {
+			for _, mask := range masks {
+				want := ObserveFrom(obs, snap, mask)
+				got := ix.ObserveFrom(obs, mask)
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d obs (%.2f, %.2f) mask %v: index returned %d sats, linear %d — first divergence %s",
+						trial, obs.LatDeg, obs.LonDeg, mask, len(got), len(want), firstDivergence(got, want))
+				}
+			}
+		}
+	}
+}
+
+// firstDivergence renders where two visible lists first differ, for
+// failure messages.
+func firstDivergence(got, want []Visible) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i].Sat.ID != want[i].Sat.ID || got[i].Look != want[i].Look {
+			return fmt.Sprintf("at rank %d: got sat %d, want sat %d", i, got[i].Sat.ID, want[i].Sat.ID)
+		}
+	}
+	return "lengths differ"
+}
+
+// TestIndexMatchesLinearScanWalker checks the equivalence on a real
+// Walker-delta constellation snapshot — the geometry campaigns run on,
+// with its equal-elevation symmetries.
+func TestIndexMatchesLinearScanWalker(t *testing.T) {
+	c, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot(c.Epoch.Add(30 * time.Minute))
+	ix := NewSnapshotIndex(snap)
+	observers := []astro.Geodetic{
+		{LatDeg: 47.6, LonDeg: -122.3},
+		{LatDeg: 0, LonDeg: 0},
+		{LatDeg: -53, LonDeg: 179.99},
+		{LatDeg: 90},
+		{LatDeg: -90},
+	}
+	for _, obs := range observers {
+		for _, mask := range []float64{5, 25} {
+			want := ObserveFrom(obs, snap, mask)
+			got := ix.ObserveFrom(obs, mask)
+			if len(want)+len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("obs (%.1f, %.1f) mask %v: index and linear scan disagree (%d vs %d sats)",
+					obs.LatDeg, obs.LonDeg, mask, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestMarkVisibleIDsMatchesScan checks the set-only query against the
+// brute-force definition.
+func TestMarkVisibleIDsMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	snap := randomSnapshot(rng, 800)
+	ix := NewSnapshotIndex(snap)
+	obs := astro.Geodetic{LatDeg: 33, LonDeg: -97}
+
+	got := map[int]bool{}
+	ix.MarkVisibleIDs(obs, 25, got)
+
+	want := map[int]bool{}
+	for _, v := range ObserveFrom(obs, snap, 25) {
+		want[v.Sat.ID] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MarkVisibleIDs = %d sats, scan = %d sats", len(got), len(want))
+	}
+}
+
+// TestAppendObserveFromPreservesPrefix checks that the scratch-reuse
+// entry point sorts only its own suffix.
+func TestAppendObserveFromPreservesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	snap := randomSnapshot(rng, 500)
+	ix := NewSnapshotIndex(snap)
+	sentinel := Visible{Sat: &Satellite{ID: -1}}
+	out := ix.AppendObserveFrom([]Visible{sentinel}, astro.Geodetic{LatDeg: 10, LonDeg: 10}, 25)
+	if out[0].Sat.ID != -1 {
+		t.Fatalf("prefix clobbered: out[0].Sat.ID = %d", out[0].Sat.ID)
+	}
+	want := ObserveFrom(astro.Geodetic{LatDeg: 10, LonDeg: 10}, snap, 25)
+	if !reflect.DeepEqual(out[1:], want) {
+		t.Fatalf("suffix differs from linear scan")
+	}
+}
+
+// TestObserveFromTieBreak is the regression test for the non-stable
+// sort bugfix: equal-elevation satellites must come out in ascending
+// ID order no matter the snapshot order.
+func TestObserveFromTieBreak(t *testing.T) {
+	pos := units.Vec3{X: units.EarthRadiusKm + 550}
+	// Three satellites at the identical position — elevation ties by
+	// construction — listed in descending ID order.
+	snap := []SatState{
+		{Sat: &Satellite{ID: 30}, ECEF: pos},
+		{Sat: &Satellite{ID: 20}, ECEF: pos},
+		{Sat: &Satellite{ID: 10}, ECEF: pos},
+	}
+	obs := astro.Geodetic{LatDeg: 0, LonDeg: 0}
+	for _, q := range [][]Visible{
+		ObserveFrom(obs, snap, 25),
+		NewSnapshotIndex(snap).ObserveFrom(obs, 25),
+	} {
+		if len(q) != 3 {
+			t.Fatalf("visible = %d sats, want 3", len(q))
+		}
+		for i, wantID := range []int{10, 20, 30} {
+			if q[i].Sat.ID != wantID {
+				t.Fatalf("rank %d: sat %d, want %d (tie-break by ID broken)", i, q[i].Sat.ID, wantID)
+			}
+		}
+	}
+}
+
+// TestIndexCellGeometry sanity-checks the grid construction: cells
+// derive from the 25°-mask footprint of the highest shell and every
+// satellite lands in exactly one cell.
+func TestIndexCellGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	snap := randomSnapshot(rng, 300)
+	ix := NewSnapshotIndex(snap)
+	latN, lonN := ix.Cells()
+	if latN < 6 || lonN < 12 {
+		t.Fatalf("grid %dx%d implausibly coarse", latN, lonN)
+	}
+	total := 0
+	for _, cell := range ix.cells {
+		total += len(cell)
+	}
+	if total != len(snap) {
+		t.Fatalf("cells hold %d entries, want %d", total, len(snap))
+	}
+	if ix.Len() != len(snap) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(snap))
+	}
+}
+
+// TestCapRadiusDeg pins the footprint geometry: a 550 km shell at the
+// 25° mask subtends about 8.7°, and degenerate inputs report !ok.
+func TestCapRadiusDeg(t *testing.T) {
+	lam, ok := capRadiusDeg(units.EarthRadiusKm, units.EarthRadiusKm+550, 25)
+	if !ok || math.Abs(lam-8.7) > 0.5 {
+		t.Fatalf("capRadiusDeg(550 km, 25°) = %.2f, %v; want ≈8.7, true", lam, ok)
+	}
+	if _, ok := capRadiusDeg(units.EarthRadiusKm, units.EarthRadiusKm-1, 25); ok {
+		t.Fatal("satellite below observer radius should be degenerate")
+	}
+	if _, ok := capRadiusDeg(units.EarthRadiusKm, units.EarthRadiusKm+550, -2); ok {
+		t.Fatal("negative mask should be degenerate")
+	}
+}

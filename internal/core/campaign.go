@@ -42,6 +42,15 @@ type CampaignConfig struct {
 	// decision trace. Purely observational: record contents, ordering,
 	// and determinism are unaffected at any worker count.
 	Metrics *CampaignMetrics
+	// Snapshots shares propagated snapshots and spatial indexes between
+	// the campaign engine and the scheduler — pass the same cache to
+	// scheduler.Config.Snapshots so each slot propagates once globally.
+	// Nil creates a private cache.
+	Snapshots *constellation.SnapshotCache
+	// DisableIndex computes available sets with the linear scan instead
+	// of the spatial index (ablation / equivalence testing). Records are
+	// byte-identical either way.
+	DisableIndex bool
 }
 
 // validate rejects unusable configs with the historical messages.
@@ -154,21 +163,20 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 // exclusively; results are bit-identical at any matcher because
 // pruning is exact.
 func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstruction.Map,
-	matcher *dtw.Matcher, slotStart time.Time, snap []constellation.SatState,
-	allocs []scheduler.Allocation, attempted, correct, failed *int) SlotRecord {
-	var alloc scheduler.Allocation
-	for _, a := range allocs {
-		if a.Terminal == term.Name {
-			alloc = a
-			break
-		}
+	matcher *dtw.Matcher, slotStart time.Time, shared *constellation.SharedSnapshot,
+	alloc scheduler.Allocation, attempted, correct, failed *int) SlotRecord {
+	var avail []SatObs
+	if cfg.DisableIndex {
+		avail = AvailableSet(shared.States, term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg)
+	} else {
+		avail = AvailableSetIndexed(shared.Index(), term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg)
 	}
 	rec := SlotRecord{
 		Observation: Observation{
 			Terminal:  term.Name,
 			SlotStart: slotStart,
 			LocalHour: LocalHour(term.VantagePoint, slotStart),
-			Available: AvailableSet(snap, term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg),
+			Available: avail,
 			ChosenIdx: -1,
 		},
 		TrueID: alloc.SatID,
@@ -189,7 +197,7 @@ func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstructio
 			rec.SkipReason = err.Error()
 			break
 		}
-		ident, err := cfg.Identifier.IdentifyFromMapsMatcher(prev, m, term.VantagePoint, slotStart, snap, matcher)
+		ident, err := cfg.Identifier.IdentifyFromMapsMatcher(prev, m, term.VantagePoint, slotStart, shared.States, matcher)
 		if err != nil {
 			rec.SkipReason = err.Error()
 			*failed++
@@ -215,4 +223,21 @@ type slotItem struct {
 	slot      int
 	slotStart time.Time
 	allocs    []scheduler.Allocation
+}
+
+// allocFor picks terminal ti's allocation from a slot's Allocate
+// output. Allocate returns one allocation per terminal in Terminals()
+// order, so the index lookup is O(1); the name check plus linear
+// fallback guards the record pairing if that contract ever changes —
+// at fleet scale the old per-terminal scan was O(terminals²) per slot.
+func allocFor(allocs []scheduler.Allocation, ti int, name string) scheduler.Allocation {
+	if ti < len(allocs) && allocs[ti].Terminal == name {
+		return allocs[ti]
+	}
+	for _, a := range allocs {
+		if a.Terminal == name {
+			return a
+		}
+	}
+	return scheduler.Allocation{}
 }

@@ -61,7 +61,19 @@ func (o *Observation) Chosen() (SatObs, bool) {
 // terminal and slot from a constellation snapshot: every satellite
 // above the 25° mask with its look angles, age, and sunlit state.
 func AvailableSet(snap []constellation.SatState, vp geo.VantagePoint, slotStart time.Time, minElevDeg float64) []SatObs {
-	fov := constellation.ObserveFrom(vp.Location, snap, minElevDeg)
+	return availFromFov(constellation.ObserveFrom(vp.Location, snap, minElevDeg), slotStart)
+}
+
+// AvailableSetIndexed is AvailableSet answered through a spatial index
+// over the same snapshot — identical output (set, order, floats) in
+// near-O(visible) instead of O(constellation).
+func AvailableSetIndexed(ix *constellation.SnapshotIndex, vp geo.VantagePoint, slotStart time.Time, minElevDeg float64) []SatObs {
+	return availFromFov(ix.ObserveFrom(vp.Location, minElevDeg), slotStart)
+}
+
+// availFromFov converts a sorted field-of-view into the observation
+// rows — the single conversion both AvailableSet paths share.
+func availFromFov(fov []constellation.Visible, slotStart time.Time) []SatObs {
 	out := make([]SatObs, 0, len(fov))
 	for _, v := range fov {
 		out = append(out, SatObs{

@@ -34,6 +34,11 @@ type CampaignStats struct {
 	// Skips histograms every non-empty SkipReason, surfacing what the
 	// batch path used to discard silently.
 	Skips map[string]int
+	// PropagationSkips counts satellites dropped from snapshots by
+	// propagation failures, summed over slots (a persistently failing
+	// satellite counts once per slot). Zero on healthy runs; non-zero
+	// means available sets were silently smaller than the constellation.
+	PropagationSkips int
 }
 
 // Accuracy returns the identification accuracy over attempted slots.
@@ -104,6 +109,9 @@ func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
 	if cfg.ResetEvery == 0 {
 		cfg.ResetEvery = 40
 	}
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = constellation.NewSnapshotCache(0, nil)
+	}
 	terms := cfg.Scheduler.Terminals()
 	for _, t := range terms {
 		if err := validateVantagePoint(t.VantagePoint); err != nil {
@@ -119,9 +127,14 @@ func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
 // are produced. Live memory is one snapshot + one dish map per
 // terminal regardless of campaign length.
 func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, emit EmitFunc) (*CampaignStats, error) {
+	// Dish maps exist only for the identification path; oracle-mode
+	// fleets (100k terminals) must not pay ~15 KB per terminal for maps
+	// nothing reads.
 	maps := make(map[string]*obstruction.Map, len(terms))
-	for _, t := range terms {
-		maps[t.Name] = obstruction.New()
+	if !cfg.Oracle {
+		for _, t := range terms {
+			maps[t.Name] = obstruction.New()
+		}
 	}
 	matcher := &dtw.Matcher{}
 
@@ -132,25 +145,29 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 			return nil, err
 		}
 		slotStart := start.Add(time.Duration(slot) * scheduler.Period)
-		snap := cfg.Identifier.cons.Snapshot(slotStart)
+		shared := cfg.Snapshots.Acquire(cfg.Identifier.cons, slotStart)
+		stats.PropagationSkips += shared.Skipped()
 		allocs := cfg.Scheduler.Allocate(slotStart)
 		cfg.Metrics.slotProduced()
 
-		if cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
+		if !cfg.Oracle && cfg.ResetEvery > 0 && slot%cfg.ResetEvery == 0 && slot > 0 {
 			for _, m := range maps {
 				m.Reset()
 			}
 		}
 
-		for _, t := range terms {
-			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, snap, allocs,
+		for ti, t := range terms {
+			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, shared,
+				allocFor(allocs, ti, t.Name),
 				&stats.Attempted, &stats.Correct, &stats.Failed)
 			stats.observe(&rec)
 			cfg.Metrics.observeRecord(&rec)
 			if err := emit(rec); err != nil {
+				shared.Release()
 				return nil, err
 			}
 		}
+		shared.Release()
 		cfg.Metrics.slotEmitted()
 	}
 	cfg.Metrics.flushMatcher(matcher.Stats)
@@ -177,8 +194,17 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 	nTerms := len(terms)
 	// Each worker channel buffers 4 slots; size the reorder window so
 	// the buffers plus in-flight slots never stall a worker that is
-	// ahead of the emitter.
+	// ahead of the emitter. At fleet scale the ring is window × nTerms
+	// records (~1 KB each), so cap the total in-flight records — a
+	// 100k-terminal fleet must not buffer gigabytes.
 	window := workers*4 + 4
+	const maxRingRecords = 1 << 18
+	if nTerms > 0 && window*nTerms > maxRingRecords {
+		window = maxRingRecords / nTerms
+		if window < 2 {
+			window = 2
+		}
+	}
 	if window > cfg.Slots {
 		window = cfg.Slots
 	}
@@ -192,27 +218,31 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 	// slot to the emitter.
 	left := make([]atomic.Int32, window)
 
-	// Lazily computed, refcounted snapshots, one ring cell per in-
-	// flight slot. The producer resets the refcount before dispatching
-	// a slot into a cell (the token guarantees the cell is free), and
-	// the last release nils the snapshot out.
+	// Lazily acquired, refcounted shared snapshots, one ring cell per
+	// in-flight slot. The producer resets the refcount before
+	// dispatching a slot into a cell (the token guarantees the cell is
+	// free); the last worker release returns the cache reference. The
+	// scheduler's Allocate call for the same slot hits the same cache
+	// entry, so propagation runs once per slot globally.
 	snaps := make([]struct {
-		mu   sync.Mutex
-		snap []constellation.SatState
+		mu     sync.Mutex
+		shared *constellation.SharedSnapshot
 	}, window)
 	snapLeft := make([]atomic.Int32, window)
+	var propSkips atomic.Int64
 
 	start := scheduler.EpochStart(cfg.Start)
 	slotTime := func(slot int) time.Time {
 		return start.Add(time.Duration(slot) * scheduler.Period)
 	}
-	getSnap := func(slot int) []constellation.SatState {
+	getSnap := func(slot int) *constellation.SharedSnapshot {
 		c := &snaps[slot%window]
 		c.mu.Lock()
-		if c.snap == nil {
-			c.snap = cfg.Identifier.cons.Snapshot(slotTime(slot))
+		if c.shared == nil {
+			c.shared = cfg.Snapshots.Acquire(cfg.Identifier.cons, slotTime(slot))
+			propSkips.Add(int64(c.shared.Skipped()))
 		}
-		s := c.snap
+		s := c.shared
 		c.mu.Unlock()
 		return s
 	}
@@ -221,7 +251,8 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 		if snapLeft[i].Add(-1) == 0 {
 			c := &snaps[i]
 			c.mu.Lock()
-			c.snap = nil
+			c.shared.Release()
+			c.shared = nil
 			c.mu.Unlock()
 		}
 	}
@@ -249,8 +280,10 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 		go func(w int) {
 			defer wg.Done()
 			maps := make(map[string]*obstruction.Map)
-			for ti := w; ti < nTerms; ti += workers {
-				maps[terms[ti].Name] = obstruction.New()
+			if !cfg.Oracle {
+				for ti := w; ti < nTerms; ti += workers {
+					maps[terms[ti].Name] = obstruction.New()
+				}
 			}
 			matcher := &dtw.Matcher{}
 			var c counters
@@ -258,7 +291,7 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				if run.Err() != nil {
 					continue // drain; the stream is abandoned
 				}
-				if cfg.ResetEvery > 0 && item.slot%cfg.ResetEvery == 0 && item.slot > 0 {
+				if !cfg.Oracle && cfg.ResetEvery > 0 && item.slot%cfg.ResetEvery == 0 && item.slot > 0 {
 					for _, m := range maps {
 						m.Reset()
 					}
@@ -266,7 +299,7 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				for ti := w; ti < nTerms; ti += workers {
 					t := terms[ti]
 					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, item.slotStart,
-						getSnap(item.slot), item.allocs,
+						getSnap(item.slot), allocFor(item.allocs, ti, t.Name),
 						&c.attempted, &c.correct, &c.failed)
 					releaseSnap(item.slot)
 					ring[item.slot%window][ti] = rec
@@ -348,6 +381,16 @@ produce:
 		close(ch)
 	}
 	wg.Wait()
+	// An abandoned run leaves dispatched slots unprocessed; return their
+	// stranded snapshot references so a shared cache does not stay
+	// pinned. Safe here: workers and producer are done, and the emitter
+	// never touches snaps.
+	for i := range snaps {
+		if snaps[i].shared != nil {
+			snaps[i].shared.Release()
+			snaps[i].shared = nil
+		}
+	}
 	// On an abandoned run the emitter may be blocked waiting for slots
 	// that will never complete; cancel to release it. On a clean run
 	// every dispatched slot completes, so the emitter drains the tail
@@ -371,5 +414,6 @@ produce:
 		stats.Correct += c.correct
 		stats.Failed += c.failed
 	}
+	stats.PropagationSkips = int(propSkips.Load())
 	return stats, nil
 }

@@ -84,6 +84,10 @@ type Config struct {
 	// TraceDecisions, when > 0, records the last N campaign decisions
 	// into a telemetry.DecisionTrace ring (Env.Trace).
 	TraceDecisions int
+	// DisableIndex forces linear visibility scans instead of the
+	// spatial index (ablation / equivalence checks). Results are
+	// identical either way.
+	DisableIndex bool
 }
 
 // Env is a ready-to-run reproduction environment.
@@ -104,6 +108,13 @@ type Env struct {
 	// Metrics is the campaign instrumentation bundle shared by every
 	// campaign this environment runs (nil when telemetry is disabled).
 	Metrics *core.CampaignMetrics
+	// Snaps is the snapshot cache shared by the scheduler and every
+	// campaign this environment runs, so each slot propagates (and
+	// indexes) the constellation once globally.
+	Snaps *constellation.SnapshotCache
+	// DisableIndex forces linear visibility scans everywhere (ablation;
+	// results are identical, only slower).
+	DisableIndex bool
 }
 
 // Trace returns the decision-trace ring, nil when tracing is off.
@@ -145,6 +156,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	for _, vp := range vps {
 		terms = append(terms, scheduler.Terminal{VantagePoint: vp, Priority: 1})
 	}
+	snaps := constellation.NewSnapshotCache(0, cfg.Telemetry)
 	sched, err := scheduler.NewGlobal(scheduler.Config{
 		Constellation:    cons,
 		Terminals:        terms,
@@ -152,6 +164,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		GSOProtectionDeg: cfg.GSOProtectionDeg,
 		Seed:             cfg.Seed,
 		Telemetry:        cfg.Telemetry,
+		Snapshots:        snaps,
+		DisableIndex:     cfg.DisableIndex,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build scheduler: %w", err)
@@ -161,7 +175,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		return nil, err
 	}
 	e := &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed,
-		Workers: cfg.Workers, Telemetry: cfg.Telemetry}
+		Workers: cfg.Workers, Telemetry: cfg.Telemetry,
+		Snaps: snaps, DisableIndex: cfg.DisableIndex}
 	e.Metrics = core.NewCampaignMetrics(cfg.Telemetry)
 	if cfg.TraceDecisions > 0 {
 		if e.Metrics == nil {
@@ -389,12 +404,14 @@ func (e *Env) IdentValidation(slots int, naive bool) (*IdentResult, error) {
 	ident := *e.Ident
 	ident.UseNaiveMatcher = naive
 	src := &pipeline.Campaign{Config: core.CampaignConfig{
-		Scheduler:  e.Sched,
-		Identifier: &ident,
-		Start:      e.Start(),
-		Slots:      slots,
-		Workers:    e.Workers,
-		Metrics:    e.Metrics,
+		Scheduler:    e.Sched,
+		Identifier:   &ident,
+		Start:        e.Start(),
+		Slots:        slots,
+		Workers:      e.Workers,
+		Metrics:      e.Metrics,
+		Snapshots:    e.Snaps,
+		DisableIndex: e.DisableIndex,
 	}}
 	var margins []float64
 	p := &pipeline.Pipeline{
@@ -430,13 +447,15 @@ func (e *Env) CampaignSource(slots int, oracle bool) *pipeline.Campaign {
 		slots = 500
 	}
 	return &pipeline.Campaign{Config: core.CampaignConfig{
-		Scheduler:  e.Sched,
-		Identifier: e.Ident,
-		Start:      e.Start(),
-		Slots:      slots,
-		Oracle:     oracle,
-		Workers:    e.Workers,
-		Metrics:    e.Metrics,
+		Scheduler:    e.Sched,
+		Identifier:   e.Ident,
+		Start:        e.Start(),
+		Slots:        slots,
+		Oracle:       oracle,
+		Workers:      e.Workers,
+		Metrics:      e.Metrics,
+		Snapshots:    e.Snaps,
+		DisableIndex: e.DisableIndex,
 	}}
 }
 

@@ -150,6 +150,15 @@ type Config struct {
 	// Telemetry, when non-nil, receives allocation counters (see
 	// Metrics). Observational only; allocations are unaffected.
 	Telemetry *telemetry.Registry
+	// Snapshots shares propagated snapshots (and their spatial indexes)
+	// with other consumers of the same constellation — pass the campaign
+	// engine's cache so each slot propagates once globally. Nil creates
+	// a private cache.
+	Snapshots *constellation.SnapshotCache
+	// DisableIndex forces the linear visibility scan instead of the
+	// spatial index (ablation / equivalence testing). Results are
+	// identical either way; only the cost changes.
+	DisableIndex bool
 }
 
 // Global is the ground-truth global controller.
@@ -161,6 +170,8 @@ type Global struct {
 	gso     map[string]*geo.GSOExclusion // per terminal
 	noGSO   bool
 	rng     *rand.Rand
+	snaps   *constellation.SnapshotCache
+	noIndex bool
 
 	// load is hidden per-satellite background utilization in [0,1],
 	// re-drawn smoothly each slot. It is intentionally unobservable to
@@ -211,6 +222,11 @@ func NewGlobal(cfg Config) (*Global, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		load:    make(map[int]float64, cfg.Constellation.Len()),
 		metrics: NewMetrics(cfg.Telemetry),
+		snaps:   cfg.Snapshots,
+		noIndex: cfg.DisableIndex,
+	}
+	if g.snaps == nil {
+		g.snaps = constellation.NewSnapshotCache(0, cfg.Telemetry)
 	}
 	switch {
 	case cfg.GSOProtectionDeg < 0:
@@ -299,7 +315,9 @@ func (g *Global) Allocate(t time.Time) []Allocation {
 	slotStart := EpochStart(t)
 	advanced := SlotIndex(t) != g.loadSlot
 	g.stepLoad(SlotIndex(t))
-	snap := g.cons.Snapshot(slotStart)
+	shared := g.snaps.Acquire(g.cons, slotStart)
+	defer shared.Release()
+	snap := shared.States
 	if g.fleet != nil && advanced {
 		sunlit := make(map[int]bool, len(snap))
 		for _, st := range snap {
@@ -307,17 +325,20 @@ func (g *Global) Allocate(t time.Time) []Allocation {
 		}
 		g.fleet.Step(Period, sunlit, g.load)
 	}
-	g.refreshGSVisibility(SlotIndex(t), snap)
+	g.refreshGSVisibility(SlotIndex(t), shared)
 
 	out := make([]Allocation, 0, len(g.terms))
 	for _, term := range g.terms {
-		cands := g.candidates(term, snap)
+		cands := g.candidates(term, shared)
 		alloc := Allocation{Terminal: term.Name, SlotStart: slotStart, Candidates: len(cands)}
 		g.metrics.observe(len(cands), len(cands) > 0)
 		if len(cands) > 0 {
 			best := cands[0]
 			for _, c := range cands[1:] {
-				if c.Score > best.Score {
+				// Explicit tie-break: lowest satellite ID wins, so the
+				// pick is a total order independent of enumeration order.
+				if c.Score > best.Score ||
+					(c.Score == best.Score && c.Sat.ID < best.Sat.ID) {
 					best = c
 				}
 			}
@@ -335,7 +356,7 @@ func (g *Global) Allocate(t time.Time) []Allocation {
 
 // refreshGSVisibility recomputes which satellites currently see a
 // ground station (bent-pipe eligibility), once per slot.
-func (g *Global) refreshGSVisibility(slot int64, snap []constellation.SatState) {
+func (g *Global) refreshGSVisibility(slot int64, shared *constellation.SharedSnapshot) {
 	if slot == g.gsSlot {
 		return
 	}
@@ -344,10 +365,25 @@ func (g *Global) refreshGSVisibility(slot int64, snap []constellation.SatState) 
 		g.gsVisible = nil // constraint disabled
 		return
 	}
+	snap := shared.States
 	g.gsVisible = make(map[int]bool, len(snap))
-	for _, st := range snap {
+	if !g.noIndex {
+		// Set semantics make per-gateway index queries equivalent to the
+		// satellite-outer scan: a satellite is marked iff some gateway
+		// sees it above the mask.
+		ix := shared.Index()
 		for _, gs := range g.groundStations {
-			if astro.Observe(gs, st.ECEF).ElevationDeg >= g.gsMinElev {
+			ix.MarkVisibleIDs(gs, g.gsMinElev, g.gsVisible)
+		}
+		return
+	}
+	observers := make([]astro.Observer, len(g.groundStations))
+	for i, gs := range g.groundStations {
+		observers[i] = astro.NewObserver(gs)
+	}
+	for _, st := range snap {
+		for i := range observers {
+			if observers[i].Observe(st.ECEF).ElevationDeg >= g.gsMinElev {
 				g.gsVisible[st.Sat.ID] = true
 				break
 			}
@@ -356,8 +392,13 @@ func (g *Global) refreshGSVisibility(slot int64, snap []constellation.SatState) 
 }
 
 // candidates returns the eligible, scored satellites for one terminal.
-func (g *Global) candidates(term Terminal, snap []constellation.SatState) []Candidate {
-	fov := constellation.ObserveFrom(term.Location, snap, g.minElev)
+func (g *Global) candidates(term Terminal, shared *constellation.SharedSnapshot) []Candidate {
+	var fov []constellation.Visible
+	if g.noIndex {
+		fov = constellation.ObserveFrom(term.Location, shared.States, g.minElev)
+	} else {
+		fov = shared.Index().ObserveFrom(term.Location, g.minElev)
+	}
 	recencyDen := g.newest.Sub(g.oldest).Hours()
 	if recencyDen <= 0 {
 		recencyDen = 1
@@ -416,9 +457,10 @@ func (g *Global) candidates(term Terminal, snap []constellation.SatState) []Cand
 // CandidatesAt exposes the scored candidate set for ablation tests.
 func (g *Global) CandidatesAt(term Terminal, t time.Time) []Candidate {
 	g.stepLoad(SlotIndex(t))
-	snap := g.cons.Snapshot(EpochStart(t))
-	g.refreshGSVisibility(SlotIndex(t), snap)
-	return g.candidates(term, snap)
+	shared := g.snaps.Acquire(g.cons, EpochStart(t))
+	defer shared.Release()
+	g.refreshGSVisibility(SlotIndex(t), shared)
+	return g.candidates(term, shared)
 }
 
 // MAC is the on-satellite medium access control scheduler: terminals

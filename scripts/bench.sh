@@ -21,6 +21,13 @@
 # baseline. The internal/telemetry record-path benchmarks must report
 # 0 allocs/op for CounterInc and HistogramObserve.
 #
+# PR6 adds the fleet-scaling sweep (BenchmarkCampaignFleet): oracle
+# campaigns from 4 to 100k terminals, spatial index vs. linear scan
+# (BENCH_PR6.json). Acceptance: indexed records/s roughly flat as the
+# fleet grows, and >= 10x the linear scan's at 10k terminals. The
+# sweep always runs at -benchtime=2x — each iteration is a whole
+# campaign, and the 100k-terminal variants take minutes each.
+#
 # Only the standard library and POSIX awk are assumed. The raw `go
 # test -bench` lines pass through on stderr so a terminal run stays
 # readable.
@@ -39,6 +46,10 @@ trap 'rm -f "$tmp"' EXIT
     go test . -run='^$' -bench='^BenchmarkCampaignMemory' \
         -benchmem -benchtime=1x
     go test . -run='^$' -bench='^BenchmarkCampaign(Serial|Parallel(Telemetry)?)$' \
+        -benchmem -benchtime="$benchtime"
+    go test . -run='^$' -bench='^BenchmarkCampaignFleet$' \
+        -benchmem -benchtime=2x -timeout=60m
+    go test . -run='^$' -bench='^BenchmarkSchedulerAllocate$' \
         -benchmem -benchtime="$benchtime"
     go test ./internal/telemetry -run='^$' -bench=. \
         -benchmem -benchtime="$benchtime"
