@@ -24,8 +24,10 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,12 +38,14 @@ import (
 
 	"repro/internal/capture"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obstruction"
 	"repro/internal/pipeline"
 	"repro/internal/skyplot"
 	"repro/internal/telemetry"
+	"repro/internal/traceio"
 )
 
 // options carries the flag values into run; one struct instead of a
@@ -62,6 +66,12 @@ type options struct {
 	traceOut      string
 	verbose       bool
 	noIndex       bool
+	workerListen  string
+	recordDelay   time.Duration
+	coordWorkers  string
+	coordShards   int
+	coordJournal  string
+	coordOut      string
 }
 
 func main() {
@@ -81,19 +91,127 @@ func main() {
 	flag.StringVar(&opt.traceOut, "trace-out", "", "write the decision ring as JSONL to this file on exit")
 	flag.BoolVar(&opt.verbose, "v", false, "print the telemetry counter summary on exit")
 	flag.BoolVar(&opt.noIndex, "no-index", false, "disable the spatial visibility index (ablation; identical results, linear scans)")
+	flag.StringVar(&opt.workerListen, "worker-listen", "", "run as a campaign worker serving shards on this address (no experiment argument)")
+	flag.DurationVar(&opt.recordDelay, "record-delay", 0, "worker mode: throttle record production (fault-injection hook)")
+	flag.StringVar(&opt.coordWorkers, "coord-workers", "", "dist: comma-separated worker addresses; empty runs the single-process golden")
+	flag.IntVar(&opt.coordShards, "coord-shards", 0, "dist: terminal shards (0 = one per worker)")
+	flag.StringVar(&opt.coordJournal, "coord-journal", "", "dist: per-shard journal directory (default: a temp dir)")
+	flag.StringVar(&opt.coordOut, "coord-out", "", "dist: write the merged record stream as JSONL to this file")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|all")
-		os.Exit(2)
-	}
 	// Ctrl-C aborts the campaign loop cleanly: the context threads down
 	// into core.RunCampaign, which discards the partial run and returns.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if opt.workerListen != "" {
+		if err := runWorker(ctx, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|dist|all")
+		os.Exit(2)
+	}
 	if err := run(ctx, flag.Arg(0), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker serves shard campaigns until the context is cancelled —
+// the `repro -worker-listen addr` process a coordinator drives.
+func runWorker(ctx context.Context, opt options) error {
+	srv, err := coord.NewWorkerServer(opt.workerListen, &coord.Worker{RecordDelay: opt.recordDelay})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "repro: worker serving shards on %s\n", srv.Addr())
+	if err := srv.Serve(ctx); err != nil && err != context.Canceled {
+		return err
+	}
+	return nil
+}
+
+// runDist shards the campaign across external worker processes and
+// prints the sha256 of the merged JSONL stream. With no -coord-workers
+// it runs the identical campaign single-process — producing the golden
+// hash a distributed run must match.
+func runDist(ctx context.Context, opt options, reg *telemetry.Registry) error {
+	spec := coord.CampaignSpec{Scale: opt.scale, Seed: opt.seed, Slots: opt.slots, Oracle: true}
+	h := sha256.New()
+	var out io.Writer = h
+	if opt.coordOut != "" {
+		f, err := os.Create(opt.coordOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(h, f)
+	}
+	start := time.Now()
+	if opt.coordWorkers == "" {
+		cfg, err := coord.BuildCampaign(spec)
+		if err != nil {
+			return err
+		}
+		cfg.Metrics = core.NewCampaignMetrics(reg)
+		enc := traceio.NewRecordEncoder(out)
+		stats, err := core.RunCampaignStream(ctx, cfg, func(rec core.SlotRecord) error {
+			return enc.Encode(&rec)
+		})
+		if err != nil {
+			return err
+		}
+		if err := enc.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# single-process golden: %d records over %d terminals in %.1fs\n",
+			stats.Records, stats.Terminals, time.Since(start).Seconds())
+		fmt.Printf("# served %d  skips %d  ident %d/%d correct\n",
+			stats.Served, sumSkips(stats.Skips), stats.Correct, stats.Attempted)
+	} else {
+		journal := opt.coordJournal
+		if journal == "" {
+			dir, err := os.MkdirTemp("", "repro-coord-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			journal = dir
+		}
+		c := &coord.Coordinator{
+			Workers:    strings.Split(opt.coordWorkers, ","),
+			Spec:       spec,
+			Shards:     opt.coordShards,
+			JournalDir: journal,
+			Registry:   reg,
+			Out:        out,
+		}
+		res, err := c.Run(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# distributed: %d records over %d terminals, %d shards on %d workers in %.1fs\n",
+			res.Records, res.Terminals, res.Shards, len(c.Workers), time.Since(start).Seconds())
+		fmt.Printf("# served %d  skips %d  ident %d/%d correct\n",
+			res.Served, sumSkips(res.Skips), res.Correct, res.Attempted)
+		fmt.Printf("# replayed %d records from journals, %d shard reassignments\n",
+			res.Replayed, res.Reassigned)
+	}
+	if opt.coordOut != "" {
+		fmt.Printf("# merged stream written to %s\n", opt.coordOut)
+	}
+	fmt.Printf("sha256 %x\n", h.Sum(nil))
+	return nil
+}
+
+func sumSkips(skips map[string]int) int {
+	n := 0
+	for _, v := range skips {
+		n += v
+	}
+	return n
 }
 
 func run(ctx context.Context, what string, opt options) error {
@@ -103,6 +221,28 @@ func run(ctx context.Context, what string, opt options) error {
 	var reg *telemetry.Registry
 	if opt.telemetryAddr != "" || opt.verbose {
 		reg = telemetry.NewRegistry()
+	}
+	// dist never touches the local constellation — workers build their
+	// own environment from the spec — so it skips env construction
+	// entirely and the coordinator host stays lightweight.
+	if what == "dist" {
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		if opt.telemetryAddr != "" {
+			srv, err := telemetry.StartServer(ctx, opt.telemetryAddr, reg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics\n", srv.Addr())
+		}
+		if err := runDist(ctx, opt, reg); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		if opt.verbose {
+			printTelemetry(reg)
+		}
+		return nil
 	}
 	traceDepth := opt.traceDepth
 	if traceDepth == 0 && opt.traceOut != "" {

@@ -1,0 +1,291 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dishrpc"
+	"repro/internal/telemetry"
+	"repro/internal/traceio"
+)
+
+// testSpec is small and oracle-mode so a full campaign runs in
+// milliseconds per worker while still exercising every layer.
+func testSpec(slots int) CampaignSpec {
+	return CampaignSpec{Scale: "small", Seed: 41, Slots: slots, Oracle: true}
+}
+
+// serialBytes runs the spec single-process and returns the traceio
+// JSONL encoding — the golden stream every distributed run must match
+// byte for byte.
+func serialBytes(t *testing.T, spec CampaignSpec) []byte {
+	t.Helper()
+	cfg, err := BuildCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := traceio.NewRecordEncoder(&buf)
+	if _, err := core.RunCampaignStream(context.Background(), cfg, func(rec core.SlotRecord) error {
+		return enc.Encode(&rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startWorker serves one in-process worker and returns its server (for
+// address and for killing it mid-campaign).
+func startWorker(t *testing.T, delay time.Duration) *dishrpc.Server {
+	t.Helper()
+	srv, err := NewWorkerServer("127.0.0.1:0", &Worker{RecordDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background())
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func addrs(servers []*dishrpc.Server) []string {
+	out := make([]string, len(servers))
+	for i, s := range servers {
+		out[i] = s.Addr().String()
+	}
+	return out
+}
+
+// TestCoordinatorMatchesSerial: distributed runs at several
+// shard/worker shapes produce the byte-identical merged stream, and
+// the per-shard gauges land on the metrics registry.
+func TestCoordinatorMatchesSerial(t *testing.T) {
+	spec := testSpec(6)
+	golden := serialBytes(t, spec)
+	for _, tc := range []struct{ workers, shards int }{
+		{1, 1}, {2, 2}, {3, 3}, {2, 3},
+	} {
+		servers := make([]*dishrpc.Server, tc.workers)
+		for i := range servers {
+			servers[i] = startWorker(t, 0)
+		}
+		reg := telemetry.NewRegistry()
+		var out bytes.Buffer
+		c := &Coordinator{
+			Workers:    addrs(servers),
+			Spec:       spec,
+			Shards:     tc.shards,
+			JournalDir: t.TempDir(),
+			Registry:   reg,
+			Out:        &out,
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", tc.workers, tc.shards, err)
+		}
+		if !bytes.Equal(out.Bytes(), golden) {
+			t.Fatalf("workers=%d shards=%d: merged stream differs from serial (%d vs %d bytes)",
+				tc.workers, tc.shards, out.Len(), len(golden))
+		}
+		if res.Records != res.Terminals*spec.Slots {
+			t.Errorf("records = %d, want %d", res.Records, res.Terminals*spec.Slots)
+		}
+		if res.Reassigned != 0 {
+			t.Errorf("healthy run reassigned %d shards", res.Reassigned)
+		}
+		var prom bytes.Buffer
+		if err := reg.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			`coord_shard_queue_depth{shard="0"}`,
+			`coord_shard_lag_slots{shard="0"}`,
+		} {
+			if !strings.Contains(prom.String(), want) {
+				t.Errorf("workers=%d shards=%d: /metrics missing %s", tc.workers, tc.shards, want)
+			}
+		}
+	}
+}
+
+// TestCoordinatorWorkerDeath is the tentpole acceptance test: a
+// 3-worker campaign with one worker killed mid-run must produce
+// byte-identical output to the serial single-process run, with the
+// dead worker's shard replayed from the journal onto a survivor — no
+// duplicated or missing (slot, terminal) records.
+func TestCoordinatorWorkerDeath(t *testing.T) {
+	spec := testSpec(12)
+	golden := serialBytes(t, spec)
+
+	servers := make([]*dishrpc.Server, 3)
+	for i := range servers {
+		servers[i] = startWorker(t, 3*time.Millisecond)
+	}
+	journals := t.TempDir()
+	var out bytes.Buffer
+	c := &Coordinator{
+		Workers:     addrs(servers),
+		Spec:        spec,
+		Shards:      3,
+		JournalDir:  journals,
+		CallTimeout: 2 * time.Second,
+		Backoff:     20 * time.Millisecond,
+		Out:         &out,
+	}
+
+	// SIGKILL stand-in: closing the server tears down its listener and
+	// every open connection, exactly what the coordinator sees when the
+	// process dies.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(60 * time.Millisecond)
+		servers[1].Close()
+	}()
+
+	res, err := c.Run(context.Background())
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("merged stream differs from serial after worker death (%d vs %d bytes)", out.Len(), len(golden))
+	}
+	if res.Reassigned == 0 {
+		t.Error("worker death did not trigger a reassignment (kill landed too late?)")
+	}
+
+	// Every shard journal must strictly decode to exactly its share of
+	// the serial stream — the no-dup/no-gap proof at the durable layer.
+	goldenRecs := decodeAll(t, bytes.NewReader(golden))
+	nTerms := res.Terminals
+	for s := 0; s < res.Shards; s++ {
+		lo, hi := s*nTerms/res.Shards, (s+1)*nTerms/res.Shards
+		f, err := os.Open(filepath.Join(journals, "shard-"+string(rune('0'+s))+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decodeAll(t, f)
+		f.Close()
+		var want []core.SlotRecord
+		for slot := 0; slot < spec.Slots; slot++ {
+			want = append(want, goldenRecs[slot*nTerms+lo:slot*nTerms+hi]...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d journal has %d records, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Terminal != want[i].Terminal || !got[i].SlotStart.Equal(want[i].SlotStart) ||
+				got[i].TrueID != want[i].TrueID {
+				t.Fatalf("shard %d journal record %d: (%s, %v, %d) want (%s, %v, %d)",
+					s, i, got[i].Terminal, got[i].SlotStart, got[i].TrueID,
+					want[i].Terminal, want[i].SlotStart, want[i].TrueID)
+			}
+		}
+	}
+}
+
+func decodeAll(t *testing.T, r io.Reader) []core.SlotRecord {
+	t.Helper()
+	dec := traceio.NewRecordDecoder(r)
+	var out []core.SlotRecord
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestCoordinatorResumeFromJournal: rerunning a completed campaign
+// against the same journal dir serves every record from the journals
+// (workers re-run the scheduler but emit nothing) and still produces
+// the byte-identical stream — the coordinator-crash recovery path.
+func TestCoordinatorResumeFromJournal(t *testing.T) {
+	spec := testSpec(5)
+	golden := serialBytes(t, spec)
+	servers := []*dishrpc.Server{startWorker(t, 0), startWorker(t, 0)}
+	journals := t.TempDir()
+	run := func() (*Result, []byte) {
+		var out bytes.Buffer
+		c := &Coordinator{
+			Workers: addrs(servers), Spec: spec, Shards: 2,
+			JournalDir: journals, Out: &out,
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out.Bytes()
+	}
+	res1, out1 := run()
+	if res1.Replayed != 0 {
+		t.Fatalf("fresh run replayed %d records", res1.Replayed)
+	}
+	if !bytes.Equal(out1, golden) {
+		t.Fatal("fresh run diverged from serial")
+	}
+
+	// Corrupt one journal's tail the way a crash mid-append would:
+	// chop bytes off the final line. The resume must drop the partial
+	// slot, refetch it, and still match.
+	path := filepath.Join(journals, "shard-0.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, out2 := run()
+	if res2.Replayed == 0 {
+		t.Fatal("resume run replayed nothing from the journals")
+	}
+	if res2.Replayed >= res2.Records {
+		t.Fatalf("resume replayed %d of %d records; the truncated slot should have been refetched",
+			res2.Replayed, res2.Records)
+	}
+	if !bytes.Equal(out2, golden) {
+		t.Fatal("journal-resumed run diverged from serial")
+	}
+}
+
+// TestCoordinatorAllWorkersDead: with no reachable worker the run
+// fails with a bounded, decorated error instead of hanging.
+func TestCoordinatorAllWorkersDead(t *testing.T) {
+	srv := startWorker(t, 0)
+	addr := srv.Addr().String()
+	srv.Close()
+	c := &Coordinator{
+		Workers: []string{addr}, Spec: testSpec(2),
+		JournalDir: t.TempDir(), CallTimeout: 200 * time.Millisecond,
+		MaxAttempts: 2, Backoff: 10 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded with every worker dead")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run hung with every worker dead")
+	}
+}

@@ -51,6 +51,40 @@ type CampaignConfig struct {
 	// of the spatial index (ablation / equivalence testing). Records are
 	// byte-identical either way.
 	DisableIndex bool
+	// Shard restricts record production and emission to the contiguous
+	// terminal index range [Shard.Lo, Shard.Hi) in Terminals() order.
+	// The scheduler still runs the FULL fleet every slot — it is
+	// stateful (hidden load walk, score-noise RNG), so every shard must
+	// replay the identical Allocate sequence — but per-terminal work
+	// (available sets, dish painting, identification) and emission
+	// happen only inside the range. Concatenating the emissions of a
+	// partition of shards slot by slot in shard order reproduces the
+	// unsharded stream byte for byte. The zero value means all
+	// terminals. A sharded run forces the serial engine.
+	Shard ShardRange
+	// EmitFromSlot suppresses emission for slots below it — the journal
+	// replay knob. The engine still processes every slot from 0 (dish
+	// obstruction state and identification tallies accumulate across
+	// slots), so Attempted/Correct/Failed cover the whole campaign, but
+	// records, Records/Served/Skips stats, and the emit callback only
+	// see slots >= EmitFromSlot. A resumed run forces the serial
+	// engine.
+	EmitFromSlot int
+}
+
+// ShardRange is a half-open terminal index range [Lo, Hi). The zero
+// value selects every terminal.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// bounds resolves the range against a fleet of n terminals, mapping
+// the zero value to [0, n).
+func (s ShardRange) bounds(n int) (lo, hi int) {
+	if s.Lo == 0 && s.Hi == 0 {
+		return 0, n
+	}
+	return s.Lo, s.Hi
 }
 
 // validate rejects unusable configs with the historical messages.
@@ -63,6 +97,9 @@ func (c *CampaignConfig) validate() error {
 	}
 	if c.Slots <= 0 {
 		return fmt.Errorf("core: campaign needs slots > 0, got %d", c.Slots)
+	}
+	if c.EmitFromSlot < 0 || c.EmitFromSlot > c.Slots {
+		return fmt.Errorf("core: emit-from slot %d outside campaign of %d slots", c.EmitFromSlot, c.Slots)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,7 +119,17 @@ func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
 			return nil, 0, err
 		}
 	}
+	lo, hi := cfg.Shard.bounds(len(terms))
+	if lo < 0 || hi > len(terms) || lo >= hi {
+		return nil, 0, fmt.Errorf("core: shard [%d,%d) outside fleet of %d terminals", lo, hi, len(terms))
+	}
 	workers := cfg.resolveWorkers(len(terms))
+	// Sharded and resumed runs take the serial engine: the parallel
+	// reorder ring assumes every terminal produces a record per slot,
+	// and replay determinism is easiest to audit on one goroutine.
+	if lo != 0 || hi != len(terms) || cfg.EmitFromSlot > 0 {
+		workers = 1
+	}
 	return terms, workers, nil
 }
 
@@ -127,18 +138,20 @@ func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
 // are produced. Live memory is one snapshot + one dish map per
 // terminal regardless of campaign length.
 func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Terminal, emit EmitFunc) (*CampaignStats, error) {
+	lo, hi := cfg.Shard.bounds(len(terms))
 	// Dish maps exist only for the identification path; oracle-mode
 	// fleets (100k terminals) must not pay ~15 KB per terminal for maps
-	// nothing reads.
-	maps := make(map[string]*obstruction.Map, len(terms))
+	// nothing reads. A shard owns maps only for its own range — the
+	// scheduler's allocations for other terminals never touch a dish.
+	maps := make(map[string]*obstruction.Map, hi-lo)
 	if !cfg.Oracle {
-		for _, t := range terms {
+		for _, t := range terms[lo:hi] {
 			maps[t.Name] = obstruction.New()
 		}
 	}
 	matcher := &dtw.Matcher{}
 
-	stats := &CampaignStats{Slots: cfg.Slots, Terminals: len(terms)}
+	stats := &CampaignStats{Slots: cfg.Slots, Terminals: hi - lo}
 	start := scheduler.EpochStart(cfg.Start)
 	for slot := 0; slot < cfg.Slots; slot++ {
 		if err := ctx.Err(); err != nil {
@@ -156,10 +169,14 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 			}
 		}
 
-		for ti, t := range terms {
+		for ti := lo; ti < hi; ti++ {
+			t := terms[ti]
 			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, shared,
 				allocFor(allocs, ti, t.Name),
 				&stats.Attempted, &stats.Correct, &stats.Failed)
+			if slot < cfg.EmitFromSlot {
+				continue // replayed slot: state advanced, emission suppressed
+			}
 			stats.observe(&rec)
 			cfg.Metrics.observeRecord(&rec)
 			if err := emit(rec); err != nil {

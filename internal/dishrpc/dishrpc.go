@@ -39,6 +39,13 @@ const MaxFrame = 1 << 20
 // ErrProtocol reports a malformed frame or message.
 var ErrProtocol = errors.New("dishrpc: protocol error")
 
+// ErrPoisoned reports a client whose framed stream can no longer be
+// trusted: a previous call failed mid-frame (timeout, disconnect,
+// malformed frame), so a late or partial reply could be read as the
+// answer to the *next* call. Every subsequent call fails fast with
+// this error until Redial establishes a fresh connection.
+var ErrPoisoned = errors.New("dishrpc: connection poisoned; reconnect required")
+
 type request struct {
 	ID     uint64          `json:"id"`
 	Method string          `json:"method"`
@@ -158,10 +165,19 @@ func readFrame(r io.Reader, v any) error {
 	return nil
 }
 
-// Server exposes a Dish over TCP.
+// Handler answers one request: it receives the method name and raw
+// params and returns the result value (marshalled into the response)
+// or an error (sent to the client as a server-side error string, which
+// does not poison the connection). Handlers are called from one
+// goroutine per connection; shared state must be synchronized.
+type Handler func(method string, params json.RawMessage) (any, error)
+
+// Server serves framed requests over TCP — a Dish daemon through
+// NewServer, or any Handler (the coordinator/worker control plane)
+// through NewHandlerServer.
 type Server struct {
-	dish *Dish
-	ln   net.Listener
+	handler Handler
+	ln      net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -169,16 +185,25 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer listens on addr (e.g. "127.0.0.1:0").
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves a dish.
 func NewServer(addr string, dish *Dish) (*Server, error) {
 	if dish == nil {
 		return nil, fmt.Errorf("dishrpc: nil dish")
+	}
+	return NewHandlerServer(addr, dish.dispatch)
+}
+
+// NewHandlerServer listens on addr and serves an arbitrary method
+// handler over the same length-prefixed framing the dish daemon uses.
+func NewHandlerServer(addr string, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("dishrpc: nil handler")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dishrpc: listen %q: %w", addr, err)
 	}
-	return &Server{dish: dish, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+	return &Server{handler: h, ln: ln, conns: make(map[net.Conn]struct{})}, nil
 }
 
 // Addr returns the bound address.
@@ -189,9 +214,18 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // in-flight connections are closed and Serve waits for their handlers
 // to drain before returning.
 func (s *Server) Serve(ctx context.Context) error {
+	// The watcher must die with Serve: tying it only to ctx leaks one
+	// goroutine per Serve call that returns on an accept error while the
+	// context lives on (a long-running coordinator redials workers many
+	// times over one campaign context).
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		s.Close()
+		select {
+		case <-ctx.Done():
+			s.Close()
+		case <-done:
+		}
 	}()
 	for {
 		conn, err := s.ln.Accept()
@@ -249,7 +283,18 @@ func (s *Server) handle(conn net.Conn) {
 		if err := readFrame(br, &req); err != nil {
 			return // disconnect or garbage: drop the connection
 		}
-		resp := s.dispatch(&req)
+		resp := response{ID: req.ID}
+		result, err := s.handler(req.Method, req.Params)
+		if err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			body, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = fmt.Sprintf("marshal result: %v", err)
+			} else {
+				resp.Result = body
+			}
+		}
 		if err := writeFrame(bw, resp); err != nil {
 			return
 		}
@@ -259,36 +304,23 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req *request) response {
-	resp := response{ID: req.ID}
-	switch req.Method {
+// dispatch is the dish daemon's method table, in Handler form.
+func (d *Dish) dispatch(method string, _ json.RawMessage) (any, error) {
+	switch method {
 	case "get_status":
-		body, err := json.Marshal(s.dish.Status())
-		if err != nil {
-			resp.Error = err.Error()
-			break
-		}
-		resp.Result = body
+		return d.Status(), nil
 	case "get_obstruction_map":
-		snap := s.dish.Snapshot()
-		raw, err := snap.MarshalBinary()
+		raw, err := d.Snapshot().MarshalBinary()
 		if err != nil {
-			resp.Error = err.Error()
-			break
+			return nil, err
 		}
-		body, err := json.Marshal(base64.StdEncoding.EncodeToString(raw))
-		if err != nil {
-			resp.Error = err.Error()
-			break
-		}
-		resp.Result = body
+		return base64.StdEncoding.EncodeToString(raw), nil
 	case "reset":
-		s.dish.Reset()
-		resp.Result = json.RawMessage(`"ok"`)
+		d.Reset()
+		return "ok", nil
 	default:
-		resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+		return nil, fmt.Errorf("unknown method %q", method)
 	}
-	return resp
 }
 
 // DefaultCallTimeout bounds each RPC round trip; a poller on a
@@ -296,14 +328,20 @@ func (s *Server) dispatch(req *request) response {
 // daemon.
 const DefaultCallTimeout = 10 * time.Second
 
-// Client talks to a dish daemon. Not safe for concurrent use; open one
-// client per goroutine (like the underlying tools).
+// Client talks to a framed-RPC server. Not safe for concurrent use;
+// open one client per goroutine (like the underlying tools).
 type Client struct {
+	addr    string
 	conn    net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	next    uint64
 	timeout time.Duration
+	// broken poisons the client: once any call fails below the protocol
+	// (I/O error, timeout, malformed or misnumbered frame), the byte
+	// stream may be mid-frame, so a later reply could be paired with the
+	// wrong call. Every call fails fast until Redial.
+	broken error
 }
 
 // Dial connects to a daemon. Calls time out after DefaultCallTimeout;
@@ -314,6 +352,7 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("dishrpc: dial %q: %w", addr, err)
 	}
 	return &Client{
+		addr:    addr,
 		conn:    conn,
 		br:      bufio.NewReader(conn),
 		bw:      bufio.NewWriter(conn),
@@ -324,30 +363,70 @@ func Dial(addr string) (*Client, error) {
 // SetCallTimeout changes the per-call deadline. d <= 0 disables it.
 func (c *Client) SetCallTimeout(d time.Duration) { c.timeout = d }
 
+// Addr returns the address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) call(method string, out any) error {
+// Err returns the poison error, nil while the connection is usable.
+func (c *Client) Err() error { return c.broken }
+
+// Redial replaces a poisoned (or healthy) connection with a fresh one
+// to the same address and clears the poison state. The coordinator's
+// retry path calls this between backoff attempts; in-flight state of
+// the old connection is abandoned with it.
+func (c *Client) Redial() error {
+	c.conn.Close()
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dishrpc: redial %q: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.broken = nil
+	return nil
+}
+
+// Call performs one RPC round trip: params (marshalled, may be nil)
+// out, result unmarshalled into out (may be nil). A server-side error
+// string returns as an error but leaves the connection usable; any
+// transport or framing failure poisons the client (see ErrPoisoned).
+func (c *Client) Call(method string, params, out any) error {
+	if c.broken != nil {
+		return fmt.Errorf("%w (after: %v)", ErrPoisoned, c.broken)
+	}
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return fmt.Errorf("dishrpc: set deadline: %w", err)
+			return c.poison(fmt.Errorf("dishrpc: set deadline: %w", err))
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	c.next++
 	req := request{ID: c.next, Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			// Nothing hit the wire: the stream is still in sync.
+			return fmt.Errorf("dishrpc: marshal params: %w", err)
+		}
+		req.Params = raw
+	}
 	if err := writeFrame(c.bw, &req); err != nil {
-		return err
+		return c.poison(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("dishrpc: flush: %w", err)
+		return c.poison(fmt.Errorf("dishrpc: flush: %w", err))
 	}
 	var resp response
 	if err := readFrame(c.br, &resp); err != nil {
-		return fmt.Errorf("dishrpc: read response: %w", err)
+		return c.poison(fmt.Errorf("dishrpc: read response: %w", err))
 	}
 	if resp.ID != req.ID {
-		return fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.ID, req.ID)
+		// A reply numbered for another call means the stream is already
+		// desynced (e.g. the late answer to a timed-out call).
+		return c.poison(fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.ID, req.ID))
 	}
 	if resp.Error != "" {
 		return fmt.Errorf("dishrpc: server: %s", resp.Error)
@@ -358,6 +437,16 @@ func (c *Client) call(method string, out any) error {
 		}
 	}
 	return nil
+}
+
+// poison marks the connection unusable and returns err.
+func (c *Client) poison(err error) error {
+	c.broken = err
+	return err
+}
+
+func (c *Client) call(method string, out any) error {
+	return c.Call(method, nil, out)
 }
 
 // Status fetches dish telemetry.

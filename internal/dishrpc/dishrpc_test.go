@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -320,6 +323,168 @@ func TestServeShutdownDisconnectsClients(t *testing.T) {
 	c.SetCallTimeout(time.Second)
 	if _, err := c.Status(); err == nil {
 		t.Error("client still served after server shutdown")
+	}
+}
+
+// startLateReplyServer answers every request correctly but sleeps for
+// delay before replying to the "slow" method — the shape of the desync
+// bug: a late reply lands on the wire after the caller has timed out
+// and moved on.
+func startLateReplyServer(t *testing.T, delay time.Duration) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					var req request
+					if err := readFrame(conn, &req); err != nil {
+						return
+					}
+					if req.Method == "slow" {
+						time.Sleep(delay)
+					}
+					resp := response{ID: req.ID, Result: json.RawMessage(`"ok"`)}
+					if err := writeFrame(conn, &resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr()
+}
+
+// TestClientPoisonedAfterTimeout covers the desync bugfix: after a
+// timed-out call the stream may hold that call's late reply, so the
+// next call must fail fast with ErrPoisoned instead of reading the
+// stale frame as its own answer.
+func TestClientPoisonedAfterTimeout(t *testing.T) {
+	addr := startLateReplyServer(t, 400*time.Millisecond)
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.SetCallTimeout(50 * time.Millisecond)
+	if err := c.Call("slow", nil, nil); err == nil {
+		t.Fatal("slow call beat its deadline; raise the server delay")
+	}
+	if c.Err() == nil {
+		t.Fatal("client not poisoned after a timed-out call")
+	}
+
+	// Give the late reply time to arrive in the socket buffer — the
+	// exact bytes the old client would have misread.
+	time.Sleep(500 * time.Millisecond)
+	c.SetCallTimeout(2 * time.Second)
+	var out string
+	err = c.Call("fast", nil, &out)
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("second call after timeout: got %v, want ErrPoisoned", err)
+	}
+
+	// Redial restores service on a fresh connection.
+	if err := c.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("poison not cleared by Redial: %v", c.Err())
+	}
+	if err := c.Call("fast", nil, &out); err != nil {
+		t.Fatalf("call after Redial: %v", err)
+	}
+	if out != "ok" {
+		t.Fatalf("call after Redial returned %q", out)
+	}
+}
+
+// TestHandlerServerErrorMidStream: a server-side handler error is a
+// clean protocol exchange — it must surface as an error without
+// poisoning the connection, and later calls on the same stream must
+// keep working and stay correctly paired.
+func TestHandlerServerErrorMidStream(t *testing.T) {
+	type args struct{ A, B int }
+	srv, err := NewHandlerServer("127.0.0.1:0", func(method string, params json.RawMessage) (any, error) {
+		switch method {
+		case "add":
+			var a args
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return a.A + a.B, nil
+		case "boom":
+			return nil, fmt.Errorf("handler exploded")
+		default:
+			return nil, fmt.Errorf("unknown method %q", method)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sum int
+	if err := c.Call("add", args{2, 3}, &sum); err != nil || sum != 5 {
+		t.Fatalf("add = %d, %v", sum, err)
+	}
+	if err := c.Call("boom", nil, nil); err == nil {
+		t.Fatal("handler error not surfaced")
+	}
+	if c.Err() != nil {
+		t.Fatalf("server-side error poisoned the client: %v", c.Err())
+	}
+	if err := c.Call("add", args{40, 2}, &sum); err != nil || sum != 42 {
+		t.Fatalf("add after handler error = %d, %v (stream desynced?)", sum, err)
+	}
+}
+
+// TestServeWatcherGoroutineReleased is the regression test for the
+// ctx-watcher leak: Serve returning via an accept error (Close) while
+// the context stays alive must not strand its watcher goroutine.
+func TestServeWatcherGoroutineReleased(t *testing.T) {
+	ctx := context.Background() // never cancelled: the leaky case
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		srv, err := NewServer("127.0.0.1:0", NewDish("d", nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx) }()
+		srv.Close()
+		if err := <-done; err == nil {
+			t.Fatal("Serve returned nil after Close")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 20 Serve cycles",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

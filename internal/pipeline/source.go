@@ -88,6 +88,44 @@ func (r RecordReplay) Stream(ctx context.Context, emit func(Record) error) error
 	}
 }
 
+// JournalReplay streams a shard journal: RecordReplay, but tolerant
+// of a truncated final line — the state a crash mid-append leaves
+// behind. After a successful Stream, Truncated reports whether a
+// partial tail was dropped and Offset the byte position an appender
+// can resume from (the coordinator truncates the journal there before
+// handing the shard to a new worker).
+type JournalReplay struct {
+	R io.Reader
+	// Truncated and Offset are populated by Stream.
+	Truncated bool
+	Offset    int64
+}
+
+// Stream implements Source.
+func (r *JournalReplay) Stream(ctx context.Context, emit func(Record) error) error {
+	dec := traceio.NewRecordDecoder(r.R)
+	dec.TolerateTruncatedTail()
+	defer func() {
+		r.Truncated = dec.Truncated()
+		r.Offset = dec.Offset()
+	}()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+}
+
 // ObservationReplay streams a JSONL observation trace (the -save-obs /
 // traceio.ObservationEncoder format), wrapping each observation in a
 // bare record.

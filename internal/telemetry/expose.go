@@ -38,6 +38,8 @@ func (m metric) help() string {
 		return m.h.help
 	case m.vec != nil:
 		return m.vec.help
+	case m.gvec != nil:
+		return m.gvec.help
 	}
 	return ""
 }
@@ -90,6 +92,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			sort.Strings(keys)
 			for _, k := range keys {
 				fmt.Fprintf(bw, "%s{%s=%q} %d\n", m.name, m.vec.label, k, vals[k])
+			}
+		case m.gvec != nil:
+			vals := m.gvec.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", m.name, m.gvec.label, k, vals[k])
 			}
 		}
 	}

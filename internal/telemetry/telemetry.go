@@ -218,6 +218,55 @@ func (v *CounterVec) Values() map[string]int64 {
 	return out
 }
 
+// GaugeVec is a labeled gauge family over one label dimension — the
+// coordinator's per-shard queue depths and lags live here. Like
+// CounterVec, With resolves a label value to a plain *Gauge handle
+// once, so the record path never touches the map.
+type GaugeVec struct {
+	name  string
+	help  string
+	label string
+
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns the gauge for one label value, creating and registering
+// it on first use. Nil-safe: a nil vec returns a nil gauge.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.children[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[value]; g != nil {
+		return g
+	}
+	g = &Gauge{name: fmt.Sprintf("%s{%s=%q}", v.name, v.label, value), help: v.help}
+	v.children[value] = g
+	return g
+}
+
+// Values returns a copy of the per-label values (nil-safe).
+func (v *GaugeVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for k, g := range v.children {
+		out[k] = g.Value()
+	}
+	return out
+}
+
 // metric is the registry's view of one registered family.
 type metric struct {
 	name string
@@ -226,6 +275,7 @@ type metric struct {
 	fg   *FloatGauge
 	h    *Histogram
 	vec  *CounterVec
+	gvec *GaugeVec
 }
 
 // Registry holds named metrics. Registration takes a mutex;
@@ -312,6 +362,16 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return m.vec
 }
 
+// GaugeVec registers (or retrieves) a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	v := &GaugeVec{name: name, help: help, label: label, children: make(map[string]*Gauge)}
+	m := r.register(metric{name: name, gvec: v})
+	return m.gvec
+}
+
 // HistogramSnapshot is one histogram's point-in-time state.
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds; Counts has one extra slot for
@@ -392,6 +452,10 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Counters[fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, v)] = c.Value()
 			}
 			m.vec.mu.RUnlock()
+		case m.gvec != nil:
+			for v, g := range m.gvec.Values() {
+				s.Gauges[fmt.Sprintf("%s{%s=%q}", m.name, m.gvec.label, v)] = g
+			}
 		}
 	}
 	return s

@@ -94,6 +94,47 @@ func TestCounterVecHandles(t *testing.T) {
 	}
 }
 
+func TestGaugeVecHandles(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("coord_shard_queue_depth", "records queued per shard", "shard")
+	a := v.With("0")
+	b := v.With("0")
+	if a != b {
+		t.Fatal("With should return the same handle for the same value")
+	}
+	a.Set(7)
+	v.With("1").Add(2)
+	v.With("1").Add(-1)
+	vals := v.Values()
+	if vals["0"] != 7 || vals["1"] != 1 {
+		t.Fatalf("Values() = %v", vals)
+	}
+	s := r.Snapshot()
+	if got := s.Gauges[`coord_shard_queue_depth{shard="0"}`]; got != 7 {
+		t.Fatalf("snapshot labeled gauge = %d, want 7", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE coord_shard_queue_depth gauge",
+		`coord_shard_queue_depth{shard="0"} 7`,
+		`coord_shard_queue_depth{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Nil safety mirrors the other handle types.
+	var nilv *GaugeVec
+	nilv.With("x").Set(1)
+	if nilv.Values() != nil {
+		t.Fatal("nil GaugeVec.Values should be nil")
+	}
+}
+
 func TestRegistryIdempotentRegistration(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x_total", "x")

@@ -5,6 +5,8 @@ import (
 	"io"
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // FuzzRecordDecoder hammers the streaming SlotRecord decoder with
@@ -50,6 +52,72 @@ func FuzzRecordDecoder(f *testing.F) {
 			if !reflect.DeepEqual(rec, again) {
 				t.Fatal("record changed across re-encode round trip")
 			}
+		}
+	})
+}
+
+// FuzzJournalReplay drives the crash-replay contract with arbitrary
+// journal bytes: tolerant replay must never panic, must report an
+// offset that sits inside the input on a complete-line boundary, and
+// re-reading the prefix up to that offset strictly must yield exactly
+// the same records with no truncation — the invariant the coordinator
+// relies on when it trims and resumes a dead worker's journal.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte(`{"Terminal":"Iowa","Available":[{"ID":1,"ElevationDeg":40}],"ChosenIdx":0,"TrueID":1}` + "\n"))
+	f.Add([]byte(`{"Terminal":"x","Available":null,"ChosenIdx":-1}` + "\n" + `{"Terminal":"y"`))
+	f.Add([]byte(`{"Terminal":"x","Available":null,"ChosenIdx":-1,"TrueID":3}`)) // valid record, no newline
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{broken"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewRecordDecoder(bytes.NewReader(data))
+		dec.TolerateTruncatedTail()
+		var replayed []core.SlotRecord
+		const maxRecords = 1 << 12
+		clean := false
+		for i := 0; i < maxRecords; i++ {
+			rec, err := dec.Next()
+			if err == io.EOF {
+				clean = true
+				break
+			}
+			if err != nil {
+				break // malformed mid-stream: still must not panic
+			}
+			replayed = append(replayed, rec)
+		}
+		off := dec.Offset()
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("offset %d outside input of %d bytes", off, len(data))
+		}
+		if off > 0 && data[off-1] != '\n' {
+			t.Fatalf("offset %d not on a line boundary", off)
+		}
+		if !clean {
+			return // hard decode error: offset still bounded, nothing to replay
+		}
+		if dec.Truncated() && off == int64(len(data)) {
+			t.Fatal("truncation reported but the whole input was consumed")
+		}
+		// Strict re-read of the trimmed journal: identical records, no
+		// truncation, same offset.
+		again := NewRecordDecoder(bytes.NewReader(data[:off]))
+		var second []core.SlotRecord
+		for {
+			rec, err := again.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("strict replay of trimmed journal failed: %v", err)
+			}
+			second = append(second, rec)
+		}
+		if !reflect.DeepEqual(replayed, second) {
+			t.Fatalf("trimmed journal replayed %d records, tolerant pass saw %d", len(second), len(replayed))
+		}
+		if again.Offset() != off {
+			t.Fatalf("trimmed journal offset %d, want %d", again.Offset(), off)
 		}
 	})
 }

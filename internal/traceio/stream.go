@@ -8,7 +8,9 @@ package traceio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -16,10 +18,97 @@ import (
 	"repro/internal/scheduler"
 )
 
+// ErrTruncatedTail reports a JSONL stream whose final line is
+// incomplete — the signature a crash mid-append leaves behind. Strict
+// decoders wrap it in their error; tolerant decoders (see
+// TolerateTruncatedTail) swallow it, end the stream cleanly at the
+// last complete record, and report the cut through Truncated and the
+// resumable append point through Offset.
+var ErrTruncatedTail = errors.New("traceio: truncated journal tail")
+
+// syncer is the optional durability hook of an encoder's destination
+// (*os.File qualifies).
+type syncer interface{ Sync() error }
+
+// flushSync drains bw and, when the destination can, forces it to
+// stable storage — the "acked means durable" barrier for journals.
+func flushSync(bw *bufio.Writer, w io.Writer) error {
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: flush: %w", err)
+	}
+	if s, ok := w.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("traceio: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// jsonlReader hands out complete JSONL lines with offset tracking and
+// the strict/tolerant truncated-tail policy shared by both decoders.
+// Errors are sticky: after any failure the stream position is
+// untrustworthy, so every later next repeats the error.
+type jsonlReader struct {
+	br        *bufio.Reader
+	off       int64 // end of the last fully consumed line
+	tolerant  bool
+	truncated bool
+	err       error
+}
+
+func newJSONLReader(r io.Reader) *jsonlReader {
+	return &jsonlReader{br: bufio.NewReader(r)}
+}
+
+// next returns the next non-blank complete line including its
+// terminating newline; io.EOF ends the stream. A final line without a
+// newline is a truncated tail: tolerant mode ends the stream cleanly
+// there (the line is not returned and off stays at the last complete
+// line), strict mode fails with ErrTruncatedTail.
+func (r *jsonlReader) next() ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for {
+		line, err := r.br.ReadBytes('\n')
+		switch {
+		case err == nil:
+			r.off += int64(len(line))
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue // blank line: nothing to decode
+			}
+			return line, nil
+		case err == io.EOF && len(line) == 0:
+			r.err = io.EOF
+			return nil, io.EOF
+		case err == io.EOF:
+			// Partial final line: a crash mid-append cut the stream here.
+			r.truncated = true
+			if r.tolerant {
+				r.err = io.EOF
+				return nil, io.EOF
+			}
+			r.err = fmt.Errorf("%w: %d bytes past offset %d", ErrTruncatedTail, len(line), r.off)
+			return nil, r.err
+		default:
+			r.err = fmt.Errorf("traceio: read line: %w", err)
+			return nil, r.err
+		}
+	}
+}
+
+// fail makes a decode error sticky: the decoder is unusable after.
+func (r *jsonlReader) fail(err error) error {
+	r.err = err
+	return err
+}
+
 // ObservationEncoder streams observations as JSON Lines, one record
 // per Encode call. Call Flush when done; output before a Flush may sit
-// in the internal buffer.
+// in the internal buffer. Close additionally syncs destinations that
+// support it, making every encoded record durable.
 type ObservationEncoder struct {
+	w   io.Writer
 	bw  *bufio.Writer
 	enc *json.Encoder
 	n   int
@@ -28,7 +117,7 @@ type ObservationEncoder struct {
 // NewObservationEncoder wraps w.
 func NewObservationEncoder(w io.Writer) *ObservationEncoder {
 	bw := bufio.NewWriter(w)
-	return &ObservationEncoder{bw: bw, enc: json.NewEncoder(bw)}
+	return &ObservationEncoder{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Encode appends one observation line.
@@ -43,33 +132,60 @@ func (e *ObservationEncoder) Encode(o *core.Observation) error {
 // Flush drains the buffer to the underlying writer.
 func (e *ObservationEncoder) Flush() error { return e.bw.Flush() }
 
+// Sync flushes and forces the destination to stable storage when it
+// supports Sync (an *os.File journal); the durability barrier behind
+// an acknowledgment.
+func (e *ObservationEncoder) Sync() error { return flushSync(e.bw, e.w) }
+
+// Close finishes the stream: flush plus sync where supported. The
+// encoder must not be used afterwards.
+func (e *ObservationEncoder) Close() error { return e.Sync() }
+
 // ObservationDecoder streams observations back from JSON Lines,
 // validating each record as it decodes.
 type ObservationDecoder struct {
-	dec *json.Decoder
-	n   int
+	r *jsonlReader
+	n int
 }
 
 // NewObservationDecoder wraps r.
 func NewObservationDecoder(r io.Reader) *ObservationDecoder {
-	return &ObservationDecoder{dec: json.NewDecoder(r)}
+	return &ObservationDecoder{r: newJSONLReader(r)}
 }
+
+// TolerateTruncatedTail switches the decoder to crash-replay mode: a
+// truncated final line ends the stream cleanly instead of failing.
+// After io.EOF, Truncated reports whether a tail was dropped and
+// Offset the byte position replay can resume appending from.
+func (d *ObservationDecoder) TolerateTruncatedTail() { d.r.tolerant = true }
+
+// Truncated reports whether the stream ended in a partial line.
+func (d *ObservationDecoder) Truncated() bool { return d.r.truncated }
+
+// Offset returns the byte offset just past the last complete line
+// consumed — the resumable append point of a truncated journal.
+func (d *ObservationDecoder) Offset() int64 { return d.r.off }
 
 // Next returns the next observation; io.EOF ends a well-formed
 // stream. Truncated or malformed input returns a decorated error —
-// never a panic — and the decoder is not usable afterwards.
+// never a panic — and the decoder is not usable afterwards (in
+// tolerant mode a truncated tail counts as a well-formed end).
 func (d *ObservationDecoder) Next() (core.Observation, error) {
 	var o core.Observation
-	if err := d.dec.Decode(&o); err != nil {
+	line, err := d.r.next()
+	if err != nil {
 		if err == io.EOF {
 			return o, io.EOF
 		}
 		return o, fmt.Errorf("traceio: read observation %d: %w", d.n+1, err)
 	}
+	if err := json.Unmarshal(line, &o); err != nil {
+		return o, d.r.fail(fmt.Errorf("traceio: read observation %d: %w", d.n+1, err))
+	}
 	d.n++
 	if o.ChosenIdx >= len(o.Available) {
-		return o, fmt.Errorf("traceio: observation %d: chosen index %d out of range (%d available)",
-			d.n, o.ChosenIdx, len(o.Available))
+		return o, d.r.fail(fmt.Errorf("traceio: observation %d: chosen index %d out of range (%d available)",
+			d.n, o.ChosenIdx, len(o.Available)))
 	}
 	return o, nil
 }
@@ -79,8 +195,10 @@ func (d *ObservationDecoder) Decoded() int { return d.n }
 
 // RecordEncoder streams full campaign SlotRecords (observation plus
 // ground truth, identification answer, margin, and skip reason) as
-// JSON Lines.
+// JSON Lines. Sync/Close force durability on destinations that support
+// it — the coordinator's shard journals ack through Sync.
 type RecordEncoder struct {
+	w   io.Writer
 	bw  *bufio.Writer
 	enc *json.Encoder
 	n   int
@@ -89,7 +207,7 @@ type RecordEncoder struct {
 // NewRecordEncoder wraps w.
 func NewRecordEncoder(w io.Writer) *RecordEncoder {
 	bw := bufio.NewWriter(w)
-	return &RecordEncoder{bw: bw, enc: json.NewEncoder(bw)}
+	return &RecordEncoder{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Encode appends one record line.
@@ -104,30 +222,53 @@ func (e *RecordEncoder) Encode(rec *core.SlotRecord) error {
 // Flush drains the buffer to the underlying writer.
 func (e *RecordEncoder) Flush() error { return e.bw.Flush() }
 
+// Sync flushes and forces the destination to stable storage when it
+// supports Sync — records are only "acked" once Sync returns.
+func (e *RecordEncoder) Sync() error { return flushSync(e.bw, e.w) }
+
+// Close finishes the stream: flush plus sync where supported. The
+// encoder must not be used afterwards.
+func (e *RecordEncoder) Close() error { return e.Sync() }
+
 // RecordDecoder streams SlotRecords back from JSON Lines.
 type RecordDecoder struct {
-	dec *json.Decoder
-	n   int
+	r *jsonlReader
+	n int
 }
 
 // NewRecordDecoder wraps r.
 func NewRecordDecoder(r io.Reader) *RecordDecoder {
-	return &RecordDecoder{dec: json.NewDecoder(r)}
+	return &RecordDecoder{r: newJSONLReader(r)}
 }
+
+// TolerateTruncatedTail switches the decoder to crash-replay mode: a
+// truncated final line ends the stream cleanly instead of failing.
+func (d *RecordDecoder) TolerateTruncatedTail() { d.r.tolerant = true }
+
+// Truncated reports whether the stream ended in a partial line.
+func (d *RecordDecoder) Truncated() bool { return d.r.truncated }
+
+// Offset returns the byte offset just past the last complete line
+// consumed — the resumable append point of a truncated journal.
+func (d *RecordDecoder) Offset() int64 { return d.r.off }
 
 // Next returns the next record; io.EOF ends a well-formed stream.
 func (d *RecordDecoder) Next() (core.SlotRecord, error) {
 	var rec core.SlotRecord
-	if err := d.dec.Decode(&rec); err != nil {
+	line, err := d.r.next()
+	if err != nil {
 		if err == io.EOF {
 			return rec, io.EOF
 		}
 		return rec, fmt.Errorf("traceio: read record %d: %w", d.n+1, err)
 	}
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, d.r.fail(fmt.Errorf("traceio: read record %d: %w", d.n+1, err))
+	}
 	d.n++
 	if rec.ChosenIdx >= len(rec.Available) {
-		return rec, fmt.Errorf("traceio: record %d: chosen index %d out of range (%d available)",
-			d.n, rec.ChosenIdx, len(rec.Available))
+		return rec, d.r.fail(fmt.Errorf("traceio: record %d: chosen index %d out of range (%d available)",
+			d.n, rec.ChosenIdx, len(rec.Available)))
 	}
 	return rec, nil
 }

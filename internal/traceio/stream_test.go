@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"reflect"
@@ -168,6 +169,117 @@ func TestStreamDecoderErrors(t *testing.T) {
 	}
 	if _, err := dec.Next(); err == nil || !strings.Contains(err.Error(), "observation 2") {
 		t.Errorf("truncated tail error = %v, want observation 2 decode error", err)
+	}
+}
+
+// encodeRecords renders records the way a journal stores them.
+func encodeRecords(t *testing.T, recs []core.SlotRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewRecordEncoder(&buf)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTolerantTailReplay is the crash-replay contract: a journal cut
+// mid-append yields every record up to the last complete line, a clean
+// io.EOF, the truncation flag, and a resumable offset that appending a
+// fresh record to extends the journal seamlessly.
+func TestTolerantTailReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	recs := make([]core.SlotRecord, 5)
+	for i := range recs {
+		recs[i] = core.SlotRecord{Observation: randObservation(rng), TrueID: i + 1}
+	}
+	whole := encodeRecords(t, recs)
+
+	// Cut inside the final record: everything from just past the 4th
+	// line's newline up to (but excluding) the final newline.
+	lines := bytes.SplitAfter(whole, []byte("\n"))
+	complete := len(whole) - len(lines[4])
+	for _, cut := range []int{complete + 1, complete + len(lines[4])/2, len(whole) - 1} {
+		dec := NewRecordDecoder(bytes.NewReader(whole[:cut]))
+		dec.TolerateTruncatedTail()
+		var got []core.SlotRecord
+		for {
+			rec, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut=%d: %v", cut, err)
+			}
+			got = append(got, rec)
+		}
+		if len(got) != 4 {
+			t.Fatalf("cut=%d: replayed %d records, want 4", cut, len(got))
+		}
+		if !dec.Truncated() {
+			t.Errorf("cut=%d: truncation not reported", cut)
+		}
+		if dec.Offset() != int64(complete) {
+			t.Errorf("cut=%d: offset = %d, want %d", cut, dec.Offset(), complete)
+		}
+		// Resume: append a fresh record at the offset; the journal must
+		// replay strictly to 5 records.
+		resumed := append(append([]byte(nil), whole[:dec.Offset()]...), encodeRecords(t, recs[4:])...)
+		strict := NewRecordDecoder(bytes.NewReader(resumed))
+		n := 0
+		for {
+			if _, err := strict.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("cut=%d: resumed journal: %v", cut, err)
+			}
+			n++
+		}
+		if n != 5 {
+			t.Fatalf("cut=%d: resumed journal has %d records, want 5", cut, n)
+		}
+	}
+
+	// A clean journal in tolerant mode: no truncation, offset = size.
+	dec := NewRecordDecoder(bytes.NewReader(whole))
+	dec.TolerateTruncatedTail()
+	for {
+		if _, err := dec.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.Truncated() || dec.Offset() != int64(len(whole)) {
+		t.Errorf("clean journal: truncated=%v offset=%d (size %d)", dec.Truncated(), dec.Offset(), len(whole))
+	}
+
+	// Strict mode must refuse the same truncated input with
+	// ErrTruncatedTail.
+	strict := NewRecordDecoder(bytes.NewReader(whole[:len(whole)-1]))
+	var err error
+	for err == nil {
+		_, err = strict.Next()
+	}
+	if !errors.Is(err, ErrTruncatedTail) {
+		t.Errorf("strict decode of truncated journal: %v, want ErrTruncatedTail", err)
+	}
+
+	// Garbage mid-stream stays a hard error even in tolerant mode.
+	bad := append(append([]byte(nil), lines[0]...), []byte("{garbage}\n")...)
+	bad = append(bad, lines[1]...)
+	tol := NewRecordDecoder(bytes.NewReader(bad))
+	tol.TolerateTruncatedTail()
+	if _, err := tol.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tol.Next(); err == nil || err == io.EOF {
+		t.Errorf("mid-stream garbage tolerated: %v", err)
 	}
 }
 
