@@ -530,9 +530,10 @@ func mod360(v float64) float64 {
 // (warm after the first iteration), so the timed cost is the per-slot
 // visibility work itself: the scheduler's candidate queries plus every
 // terminal's available set.
-func benchFleetCampaign(b *testing.B, n int, disableIndex bool) {
+func benchFleetCampaign(b *testing.B, n int, disableIndex bool, snapWorkers int) {
 	env, _, _ := benchSetup(b)
 	cache := constellation.NewSnapshotCache(0, nil)
+	cache.SetSnapshotWorkers(snapWorkers)
 	sched, err := scheduler.NewGlobal(scheduler.Config{
 		Constellation: env.Cons,
 		Terminals:     benchFleetTerminals(n),
@@ -581,16 +582,26 @@ func benchFleetCampaign(b *testing.B, n int, disableIndex bool) {
 // terminal. Linear stops at 10k (100k × 4k satellite observations per
 // slot is pointlessly slow); outputs are byte-identical either way
 // (TestCampaignFleetIdentical). Record with scripts/bench.sh
-// (BENCH_PR6.json).
+// (BENCH_PR6.json; rerecorded with the zero-alloc snapshot engine as
+// BENCH_PR8.json). The parsnap group is the PR8 ablation: the same
+// indexed campaign with snapshot propagation fanned out across
+// GOMAXPROCS workers — byte-identical output, only the snapshot fill
+// cost moves. On a single-core host it matches indexed/ to within
+// noise; the fan-out needs real cores to show its speedup.
 func BenchmarkCampaignFleet(b *testing.B) {
 	for _, n := range []int{4, 100, 1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("indexed/terminals=%d", n), func(b *testing.B) {
-			benchFleetCampaign(b, n, false)
+			benchFleetCampaign(b, n, false, 1)
 		})
 	}
 	for _, n := range []int{4, 100, 1000, 10000} {
 		b.Run(fmt.Sprintf("linear/terminals=%d", n), func(b *testing.B) {
-			benchFleetCampaign(b, n, true)
+			benchFleetCampaign(b, n, true, 1)
+		})
+	}
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("parsnap/terminals=%d", n), func(b *testing.B) {
+			benchFleetCampaign(b, n, false, -1)
 		})
 	}
 }

@@ -14,6 +14,7 @@
 //	-seed    int                deterministic seed (default 7)
 //	-slots   int                campaign length in 15s slots (default 500)
 //	-workers int                campaign + model-training worker pool (default 0 = GOMAXPROCS)
+//	-snapshot-workers int       per-slot propagation fan-out (default 0 = GOMAXPROCS)
 //	-dir     string             where fig3 writes PNGs (default ".")
 //	-full-grid                  fig8: run the full hyperparameter grid
 //	-telemetry-addr addr        serve /metrics, /debug/vars, /debug/pprof on addr
@@ -55,6 +56,7 @@ type options struct {
 	seed          int64
 	slots         int
 	workers       int
+	snapWorkers   int
 	dir           string
 	fullGrid      bool
 	saveObs       string
@@ -80,6 +82,7 @@ func main() {
 	flag.Int64Var(&opt.seed, "seed", 7, "deterministic seed")
 	flag.IntVar(&opt.slots, "slots", 500, "campaign length in 15-second slots")
 	flag.IntVar(&opt.workers, "workers", 0, "worker pool size for campaigns and fig8 model training (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&opt.snapWorkers, "snapshot-workers", 0, "fan-out for the per-slot constellation propagation sweep (0 = GOMAXPROCS, 1 = serial; byte-identical output at every value)")
 	flag.StringVar(&opt.dir, "dir", ".", "output directory for fig3 PNGs")
 	flag.BoolVar(&opt.fullGrid, "full-grid", false, "fig8: search the full hyperparameter grid")
 	flag.StringVar(&opt.saveObs, "save-obs", "", "write campaign observations as JSONL to this file")
@@ -138,7 +141,8 @@ func runWorker(ctx context.Context, opt options) error {
 // it runs the identical campaign single-process — producing the golden
 // hash a distributed run must match.
 func runDist(ctx context.Context, opt options, reg *telemetry.Registry) error {
-	spec := coord.CampaignSpec{Scale: opt.scale, Seed: opt.seed, Slots: opt.slots, Oracle: true}
+	spec := coord.CampaignSpec{Scale: opt.scale, Seed: opt.seed, Slots: opt.slots, Oracle: true,
+		SnapshotWorkers: opt.snapWorkers}
 	h := sha256.New()
 	var out io.Writer = h
 	if opt.coordOut != "" {
@@ -250,7 +254,8 @@ func run(ctx context.Context, what string, opt options) error {
 	}
 	env, err := experiments.NewEnv(experiments.Config{
 		Scale: experiments.Scale(opt.scale), Seed: opt.seed, Workers: opt.workers,
-		Telemetry: reg, TraceDecisions: traceDepth, DisableIndex: opt.noIndex,
+		SnapshotWorkers: opt.snapWorkers,
+		Telemetry:       reg, TraceDecisions: traceDepth, DisableIndex: opt.noIndex,
 	})
 	if err != nil {
 		return err

@@ -34,18 +34,41 @@ func GMST(t time.Time) float64 {
 	return units.WrapRadTwoPi(units.Deg2Rad(theta))
 }
 
-// TEMEToECEF rotates a position (and optional velocity) vector from
-// the TEME frame (SGP4 output) to the Earth-fixed ECEF frame at time
-// t. It applies the GMST rotation about the Z axis; velocity
-// additionally receives the Earth-rotation term.
-func TEMEToECEF(posTEME, velTEME units.Vec3, t time.Time) (posECEF, velECEF units.Vec3) {
+// Frame is the TEME→ECEF rotation at one instant, with the sidereal
+// angle's sine and cosine precomputed. A snapshot sweep over thousands
+// of satellites shares one instant, so hoisting FrameAt out of the
+// per-satellite loop removes the repeated Julian-date reduction and
+// trig from the hot path. Frame.ToECEF and Frame.ToECEFVel are
+// bit-identical to TEMEToECEF at the same instant: the same operations
+// in the same order on the same rotation terms.
+type Frame struct {
+	cosTheta, sinTheta float64
+}
+
+// FrameAt computes the rotation frame for time t (one GMST evaluation,
+// one sin/cos pair).
+func FrameAt(t time.Time) Frame {
 	theta := GMST(t)
-	c, s := math.Cos(theta), math.Sin(theta)
-	posECEF = units.Vec3{
+	return Frame{cosTheta: math.Cos(theta), sinTheta: math.Sin(theta)}
+}
+
+// ToECEF rotates a TEME position into the Earth-fixed frame. Use this
+// when the velocity is not needed: it skips the Earth-rotation terms
+// entirely.
+func (f Frame) ToECEF(posTEME units.Vec3) units.Vec3 {
+	c, s := f.cosTheta, f.sinTheta
+	return units.Vec3{
 		X: c*posTEME.X + s*posTEME.Y,
 		Y: -s*posTEME.X + c*posTEME.Y,
 		Z: posTEME.Z,
 	}
+}
+
+// ToECEFVel rotates a TEME position and velocity into the Earth-fixed
+// frame, applying the Earth-rotation term to the velocity.
+func (f Frame) ToECEFVel(posTEME, velTEME units.Vec3) (posECEF, velECEF units.Vec3) {
+	c, s := f.cosTheta, f.sinTheta
+	posECEF = f.ToECEF(posTEME)
 	// Earth rotation rate, rad/s.
 	const omegaEarth = 7.29211514670698e-5
 	velRot := units.Vec3{
@@ -60,6 +83,15 @@ func TEMEToECEF(posTEME, velTEME units.Vec3, t time.Time) (posECEF, velECEF unit
 		Z: velRot.Z,
 	}
 	return posECEF, velECEF
+}
+
+// TEMEToECEF rotates a position (and optional velocity) vector from
+// the TEME frame (SGP4 output) to the Earth-fixed ECEF frame at time
+// t. It applies the GMST rotation about the Z axis; velocity
+// additionally receives the Earth-rotation term. Loops over many
+// satellites at one instant should hoist FrameAt(t) instead.
+func TEMEToECEF(posTEME, velTEME units.Vec3, t time.Time) (posECEF, velECEF units.Vec3) {
+	return FrameAt(t).ToECEFVel(posTEME, velTEME)
 }
 
 // Geodetic is a position on (or above) the WGS-84 ellipsoid.
@@ -214,37 +246,54 @@ func SunPositionECEF(t time.Time) units.Vec3 {
 // sunlit, matching the operational meaning ("solar panels produce
 // power").
 func IsSunlit(satECI units.Vec3, t time.Time) bool {
-	sun := SunPositionECI(t)
-	return isSunlitGeom(satECI, sun)
+	sh := NewShadow(SunPositionECI(t))
+	return sh.Sunlit(satECI)
 }
 
-// isSunlitGeom implements the umbra test given explicit satellite and
-// Sun positions, both geocentric km.
-func isSunlitGeom(sat, sun units.Vec3) bool {
-	sunDir := sun.Unit()
+// Shadow is the Earth's umbra cone for one Sun position, with the
+// shadow-axis direction and cone constants (apex distance, half-angle
+// tangent) hoisted out of the per-satellite test. It is the single
+// shadow geometry shared by astro.IsSunlit and the constellation
+// snapshot sweep, so the two can never drift; a full-constellation
+// snapshot computes the constants once and pays only a dot product, a
+// norm, and a multiply per satellite.
+type Shadow struct {
+	sunDir   units.Vec3 // unit vector toward the Sun
+	apexDist float64    // Earth center → umbra apex, km
+	tanAlpha float64    // tangent of the umbra half-angle
+}
+
+// NewShadow precomputes the umbra cone for a geocentric Sun position
+// in km.
+func NewShadow(sun units.Vec3) Shadow {
+	sunDist := sun.Norm()
+	// Half-angle of the umbra cone.
+	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
+	return Shadow{
+		sunDir: sun.Unit(),
+		// Distance from Earth's center to the umbra apex.
+		apexDist: units.EarthRadiusKm / math.Sin(alpha),
+		tanAlpha: math.Tan(alpha),
+	}
+}
+
+// Sunlit reports whether a satellite at the given geocentric position
+// (km) is outside the umbra.
+func (sh *Shadow) Sunlit(sat units.Vec3) bool {
 	// Component of satellite position along the anti-solar axis.
-	along := sat.Dot(sunDir)
+	along := sat.Dot(sh.sunDir)
 	if along >= 0 {
 		// Satellite is on the day side of the Earth's center plane.
 		return true
 	}
 	// Perpendicular distance from the shadow axis.
-	axisPoint := sunDir.Scale(along)
-	perp := sat.Sub(axisPoint).Norm()
-
-	// Umbra cone: apex beyond Earth on the anti-solar side.
-	sunDist := sun.Norm()
-	// Half-angle of the umbra cone.
-	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
-	// Distance from Earth's center to the umbra apex.
-	apexDist := units.EarthRadiusKm / math.Sin(alpha)
-	// Radius of the umbra at the satellite's along-axis distance.
+	perp := sat.Sub(sh.sunDir.Scale(along)).Norm()
 	behind := -along // positive km behind Earth's center
-	if behind >= apexDist {
+	if behind >= sh.apexDist {
 		return true // beyond the umbra apex
 	}
-	umbraRadius := (apexDist - behind) * math.Tan(alpha)
-	return perp > umbraRadius
+	// Radius of the umbra at the satellite's along-axis distance.
+	return perp > (sh.apexDist-behind)*sh.tanAlpha
 }
 
 // SolarElevationDeg returns the Sun's elevation angle above the local

@@ -239,3 +239,76 @@ func TestNoonSunIsSouthAtNorthernLatitudes(t *testing.T) {
 		t.Errorf("noon sun elevation = %v, want ~%v", la.ElevationDeg, 90-41.66)
 	}
 }
+
+// refSunlit is an independent transcription of the conical-umbra
+// geometry (the formula both astro.IsSunlit and the former
+// constellation.sunlitGeocentric implemented before they were unified
+// behind Shadow). The cross-check below keeps the shared Shadow
+// implementation pinned to it bit for bit, so the geometry can never
+// silently drift under refactoring.
+func refSunlit(satECI, sun units.Vec3) bool {
+	sunDir := sun.Unit()
+	along := satECI.Dot(sunDir)
+	if along >= 0 {
+		return true
+	}
+	perp := satECI.Sub(sunDir.Scale(along)).Norm()
+	sunDist := sun.Norm()
+	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
+	apexDist := units.EarthRadiusKm / math.Sin(alpha)
+	behind := -along
+	if behind >= apexDist {
+		return true
+	}
+	return perp > (apexDist-behind)*math.Tan(alpha)
+}
+
+func TestShadowCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tm := range []time.Time{
+		time.Date(2023, 3, 20, 12, 0, 0, 0, time.UTC),
+		time.Date(2023, 6, 21, 0, 0, 0, 0, time.UTC),
+		time.Date(2023, 12, 21, 18, 30, 0, 0, time.UTC),
+	} {
+		sun := SunPositionECI(tm)
+		sh := NewShadow(sun)
+		for i := 0; i < 2000; i++ {
+			// Random LEO-shell positions, including points near the shadow
+			// axis where the day/night boundary is decided.
+			r := units.EarthRadiusKm + 300 + rng.Float64()*1000
+			theta := rng.Float64() * 2 * math.Pi
+			z := 2*rng.Float64() - 1
+			s := math.Sqrt(1 - z*z)
+			sat := units.Vec3{X: r * s * math.Cos(theta), Y: r * s * math.Sin(theta), Z: r * z}
+			want := refSunlit(sat, sun)
+			if got := sh.Sunlit(sat); got != want {
+				t.Fatalf("Shadow.Sunlit(%v) at %v = %v, reference = %v", sat, tm, got, want)
+			}
+			if got := IsSunlit(sat, tm); got != want {
+				t.Fatalf("IsSunlit(%v) at %v = %v, reference = %v", sat, tm, got, want)
+			}
+		}
+	}
+}
+
+func TestFrameMatchesTEMEToECEF(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tm := range []time.Time{
+		time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2023, 8, 14, 6, 45, 12, 0, time.UTC),
+	} {
+		f := FrameAt(tm)
+		for i := 0; i < 500; i++ {
+			pos := units.Vec3{X: rng.NormFloat64() * 7000, Y: rng.NormFloat64() * 7000, Z: rng.NormFloat64() * 7000}
+			vel := units.Vec3{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8, Z: rng.NormFloat64() * 8}
+			wantP, wantV := TEMEToECEF(pos, vel, tm)
+			gotP, gotV := f.ToECEFVel(pos, vel)
+			if gotP != wantP || gotV != wantV {
+				t.Fatalf("Frame rotation diverged from TEMEToECEF: got (%v, %v), want (%v, %v)", gotP, gotV, wantP, wantV)
+			}
+			if only := f.ToECEF(pos); only != wantP {
+				t.Fatalf("Frame.ToECEF = %v, want %v", only, wantP)
+			}
+		}
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/astro"
@@ -75,6 +77,12 @@ type Constellation struct {
 	byID  map[int]*Satellite
 	Epoch time.Time // TLE epoch shared by all satellites
 
+	// SnapshotWorkers is the default fan-out for Snapshot /
+	// SnapshotSkipped (see SnapshotInto): 0 selects GOMAXPROCS, 1
+	// forces the serial sweep. Output is byte-identical at every
+	// value. Set before concurrent use.
+	SnapshotWorkers int
+
 	// Fingerprint cache (see Fingerprint).
 	fpOnce sync.Once
 	fp     uint64
@@ -105,6 +113,10 @@ type Config struct {
 	JitterDeg float64
 	// UseKeplerJ2 selects the ablation propagator instead of SGP4.
 	UseKeplerJ2 bool
+	// SnapshotWorkers is the default snapshot fan-out (see
+	// Constellation.SnapshotWorkers): 0 selects GOMAXPROCS, 1 forces
+	// the serial sweep. Byte-identical output at every value.
+	SnapshotWorkers int
 	// FirstCatalogNum numbers satellites sequentially from here.
 	// Default 44714 (the first Starlink v1.0 catalog number).
 	FirstCatalogNum int
@@ -200,7 +212,8 @@ func New(cfg Config) (*Constellation, error) {
 
 	assignLaunchBatches(all, cfg, rng)
 
-	c := &Constellation{Sats: all, Epoch: cfg.Epoch, byID: make(map[int]*Satellite, len(all))}
+	c := &Constellation{Sats: all, Epoch: cfg.Epoch, byID: make(map[int]*Satellite, len(all)),
+		SnapshotWorkers: cfg.SnapshotWorkers}
 	for _, s := range all {
 		c.byID[s.ID] = s
 	}
@@ -267,36 +280,188 @@ func (c *Constellation) Snapshot(t time.Time) []SatState {
 // SnapshotSkipped is Snapshot plus the number of satellites dropped
 // from this snapshot because their propagation failed.
 func (c *Constellation) SnapshotSkipped(t time.Time) ([]SatState, int) {
-	sun := astro.SunPositionECI(t)
-	out := make([]SatState, 0, len(c.Sats))
-	skipped := 0
-	for _, s := range c.Sats {
-		st, err := s.Propagator.PropagateAt(t)
-		if err != nil {
-			skipped++
-			c.recordSkip(s.ID, err)
-			continue
+	return c.SnapshotInto(nil, t, c.SnapshotWorkers)
+}
+
+// snapshotChunk is the unit of work a snapshot worker claims at a
+// time: large enough that the atomic claim is noise, small enough that
+// the tail of the sweep stays balanced across workers.
+const snapshotChunk = 256
+
+// resolveSnapshotWorkers maps the workers knob to an effective pool
+// size for n satellites: <= 0 selects GOMAXPROCS, and the pool never
+// exceeds one worker per chunk (tiny constellations run serial).
+func resolveSnapshotWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + snapshotChunk - 1) / snapshotChunk; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// propagateInto runs one satellite's propagation into caller-owned
+// scratch. Dispatch is devirtualized for the two built-in propagators:
+// a static call lets escape analysis keep st on the caller's stack,
+// where routing &st through the ScratchEphemeris interface would force
+// a heap allocation per sweep. Other Ephemeris implementations
+// (injected test propagators) take the value-return path.
+func propagateInto(s *Satellite, t time.Time, st *sgp4.State) error {
+	switch p := s.Propagator.(type) {
+	case *sgp4.Propagator:
+		return p.PropagateAtInto(t, st)
+	case *sgp4.KeplerJ2:
+		return p.PropagateAtInto(t, st)
+	}
+	v, err := s.Propagator.PropagateAt(t)
+	if err != nil {
+		return err
+	}
+	*st = v
+	return nil
+}
+
+// snapSkip is one propagation failure observed during a snapshot
+// sweep, tagged with its constellation position so parallel sweeps
+// fold failures in the same deterministic order as the serial loop.
+type snapSkip struct {
+	idx int
+	id  int
+	msg string
+}
+
+// SnapshotInto is SnapshotSkipped writing into dst (grown as needed —
+// pass a recycled slice to make the steady-state slot loop
+// allocation-free) with an explicit worker count. The slot-invariant
+// work — the TEME→ECEF rotation frame and the Sun-shadow cone — is
+// hoisted out of the per-satellite loop, and with workers > 1 the
+// sweep fans out over a bounded pool that writes by satellite index,
+// so states, order, skip counts, and per-satellite first-error text
+// are byte-identical at every worker count.
+func (c *Constellation) SnapshotInto(dst []SatState, t time.Time, workers int) ([]SatState, int) {
+	n := len(c.Sats)
+	frame := astro.FrameAt(t)
+	shadow := astro.NewShadow(astro.SunPositionECI(t))
+	workers = resolveSnapshotWorkers(workers, n)
+
+	if workers == 1 {
+		out := growStates(dst, n)[:0]
+		skipped := 0
+		var st sgp4.State
+		for _, s := range c.Sats {
+			if err := propagateInto(s, t, &st); err != nil {
+				skipped++
+				c.recordSkip(s.ID, err.Error())
+				continue
+			}
+			out = append(out, SatState{
+				Sat:    s,
+				ECEF:   frame.ToECEF(st.Pos),
+				Sunlit: shadow.Sunlit(st.Pos),
+			})
 		}
-		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
-		out = append(out, SatState{
-			Sat:    s,
-			ECEF:   posECEF,
-			Sunlit: sunlitGeocentric(st.Pos, sun),
-		})
+		return out, skipped
+	}
+	// The fan-out lives in its own function: its goroutine closures
+	// capture the hoisted frame/shadow, and sharing a stack frame with
+	// the serial loop would force those onto the heap there too.
+	return c.snapshotParallel(growStates(dst, n), t, workers, frame, shadow)
+}
+
+// snapshotParallel is SnapshotInto's worker pool: workers claim fixed
+// chunks off an atomic cursor and write each satellite's state at its
+// own index, so the filled slice is independent of scheduling.
+// Failures leave a nil-Sat hole and are batched per worker; the serial
+// fold below sorts them by constellation position, making the skip
+// accounting — totals and first-error text — identical to the serial
+// loop's.
+func (c *Constellation) snapshotParallel(full []SatState, t time.Time, workers int, frame astro.Frame, shadow astro.Shadow) ([]SatState, int) {
+	n := len(c.Sats)
+	skipLists := make([][]snapSkip, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []snapSkip
+			var st sgp4.State
+			for {
+				hi := int(cursor.Add(snapshotChunk))
+				lo := hi - snapshotChunk
+				if lo >= n {
+					break
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					s := c.Sats[i]
+					if err := propagateInto(s, t, &st); err != nil {
+						full[i].Sat = nil
+						local = append(local, snapSkip{idx: i, id: s.ID, msg: err.Error()})
+						continue
+					}
+					full[i] = SatState{
+						Sat:    s,
+						ECEF:   frame.ToECEF(st.Pos),
+						Sunlit: shadow.Sunlit(st.Pos),
+					}
+				}
+			}
+			skipLists[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	skipped := 0
+	for _, l := range skipLists {
+		skipped += len(l)
+	}
+	if skipped == 0 {
+		return full, 0
+	}
+	var skips []snapSkip
+	for _, l := range skipLists {
+		skips = append(skips, l...)
+	}
+	slices.SortFunc(skips, func(a, b snapSkip) int { return a.idx - b.idx })
+	for _, sk := range skips {
+		c.recordSkip(sk.id, sk.msg)
+	}
+	// Compact the holes in place, preserving constellation order.
+	out := full[:0]
+	for i := range full {
+		if full[i].Sat != nil {
+			out = append(out, full[i])
+		}
 	}
 	return out, skipped
 }
 
+// growStates returns dst resized to n entries, reusing its backing
+// array when the capacity allows.
+func growStates(dst []SatState, n int) []SatState {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]SatState, n)
+}
+
 // recordSkip folds one propagation failure into the constellation's
 // skip accounting, keeping the first error text per satellite.
-func (c *Constellation) recordSkip(id int, err error) {
+func (c *Constellation) recordSkip(id int, msg string) {
 	c.skipMu.Lock()
 	c.skipTotal++
 	if c.skipBySat == nil {
 		c.skipBySat = make(map[int]string)
 	}
 	if _, seen := c.skipBySat[id]; !seen {
-		c.skipBySat[id] = err.Error()
+		c.skipBySat[id] = msg
 	}
 	c.skipMu.Unlock()
 }
@@ -368,28 +533,46 @@ func (c *Constellation) Fingerprint() uint64 {
 // the linear scan and the SnapshotIndex query path, which must agree
 // byte for byte.
 func ObserveFrom(obs astro.Geodetic, snap []SatState, minElevDeg float64) []Visible {
+	// A 25° mask over a 4k-satellite constellation sees a few dozen
+	// satellites; 48 covers typical sweeps without append regrowth.
+	hint := 48
+	if hint > len(snap) {
+		hint = len(snap)
+	}
+	return AppendObserveFrom(make([]Visible, 0, hint), obs, snap, minElevDeg)
+}
+
+// AppendObserveFrom is ObserveFrom appending into dst (reusing its
+// backing array), for callers that sweep many slots and want the
+// per-slot visibility scan allocation-free.
+func AppendObserveFrom(dst []Visible, obs astro.Geodetic, snap []SatState, minElevDeg float64) []Visible {
 	o := astro.NewObserver(obs)
-	var out []Visible
-	for _, st := range snap {
-		la := o.Observe(st.ECEF)
+	start := len(dst)
+	for i := range snap {
+		la := o.Observe(snap[i].ECEF)
 		if la.ElevationDeg < minElevDeg {
 			continue
 		}
-		out = append(out, Visible{Sat: st.Sat, Look: la, Sunlit: st.Sunlit})
+		dst = append(dst, Visible{Sat: snap[i].Sat, Look: la, Sunlit: snap[i].Sunlit})
 	}
-	sortVisible(out)
-	return out
+	sortVisible(dst[start:])
+	return dst
 }
 
 // sortVisible orders a visible set by descending elevation, ties by
 // ascending satellite ID — the one deterministic order every
-// visibility path (linear scan and index) must produce.
+// visibility path (linear scan and index) must produce. Satellite IDs
+// are unique, so the comparator is a total order and the (unstable)
+// sort is deterministic.
 func sortVisible(out []Visible) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Look.ElevationDeg != out[j].Look.ElevationDeg {
-			return out[i].Look.ElevationDeg > out[j].Look.ElevationDeg
+	slices.SortFunc(out, func(a, b Visible) int {
+		if a.Look.ElevationDeg != b.Look.ElevationDeg {
+			if a.Look.ElevationDeg > b.Look.ElevationDeg {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Sat.ID < out[j].Sat.ID
+		return a.Sat.ID - b.Sat.ID
 	})
 }
 
@@ -397,26 +580,6 @@ func sortVisible(out []Visible) {
 // at time t, sorted by descending elevation.
 func (c *Constellation) FieldOfView(obs astro.Geodetic, t time.Time, minElevDeg float64) []Visible {
 	return ObserveFrom(obs, c.Snapshot(t), minElevDeg)
-}
-
-// sunlitGeocentric wraps astro.IsSunlit but reuses a precomputed sun
-// position for the whole field-of-view sweep.
-func sunlitGeocentric(satECI, sun units.Vec3) bool {
-	// Mirror astro.IsSunlit's geometry with the shared sun vector.
-	sunDir := sun.Unit()
-	along := satECI.Dot(sunDir)
-	if along >= 0 {
-		return true
-	}
-	perp := satECI.Sub(sunDir.Scale(along)).Norm()
-	sunDist := sun.Norm()
-	alpha := math.Asin((units.SunRadiusKm - units.EarthRadiusKm) / sunDist)
-	apexDist := units.EarthRadiusKm / math.Sin(alpha)
-	behind := -along
-	if behind >= apexDist {
-		return true
-	}
-	return perp > (apexDist-behind)*math.Tan(alpha)
 }
 
 // TrackPoint is a time-stamped topocentric sample of a satellite's
@@ -437,14 +600,15 @@ func (c *Constellation) Track(id int, obs astro.Geodetic, start time.Time, dur, 
 	if step <= 0 {
 		return nil, fmt.Errorf("constellation: non-positive step %v", step)
 	}
-	var pts []TrackPoint
-	for t := start; !t.After(start.Add(dur)); t = t.Add(step) {
-		st, err := s.Propagator.PropagateAt(t)
-		if err != nil {
+	o := astro.NewObserver(obs)
+	end := start.Add(dur)
+	pts := make([]TrackPoint, 0, int(dur/step)+1)
+	var st sgp4.State
+	for t := start; !t.After(end); t = t.Add(step) {
+		if err := propagateInto(s, t, &st); err != nil {
 			return nil, fmt.Errorf("constellation: satellite %d at %v: %w", id, t, err)
 		}
-		posECEF, _ := astro.TEMEToECEF(st.Pos, st.Vel, t)
-		pts = append(pts, TrackPoint{T: t, Look: astro.Observe(obs, posECEF)})
+		pts = append(pts, TrackPoint{T: t, Look: o.Observe(astro.FrameAt(t).ToECEF(st.Pos))})
 	}
 	return pts, nil
 }

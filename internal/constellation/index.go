@@ -55,7 +55,20 @@ const indexMarginDeg = 1.5
 // one pass over the snapshot; the snapshot slice is referenced, not
 // copied, and must not be mutated afterwards (snapshots never are).
 func NewSnapshotIndex(snap []SatState) *SnapshotIndex {
-	ix := &SnapshotIndex{snap: snap}
+	ix := &SnapshotIndex{}
+	ix.Rebuild(snap)
+	return ix
+}
+
+// Rebuild re-points the index at a new snapshot, reusing the per-cell
+// backing arrays from the previous build when the grid dimensions
+// match (they do whenever the highest shell is unchanged, i.e. every
+// steady-state slot). This is what lets the SnapshotCache recycle a
+// released slot's index for the next slot without reallocating
+// thousands of small cell slices.
+func (ix *SnapshotIndex) Rebuild(snap []SatState) {
+	ix.snap = snap
+	ix.maxRadiusKm = 0
 	for i := range snap {
 		if r := snap[i].ECEF.Norm(); r > ix.maxRadiusKm {
 			ix.maxRadiusKm = r
@@ -69,16 +82,23 @@ func NewSnapshotIndex(snap []SatState) *SnapshotIndex {
 	if lam, ok := capRadiusDeg(units.EarthRadiusKm, ix.maxRadiusKm, indexMaskRefDeg-indexMarginDeg); ok {
 		cell = units.Clamp(lam, 2, 30)
 	}
-	ix.latCells = int(math.Ceil(180 / cell))
-	ix.latCellDeg = 180 / float64(ix.latCells)
-	ix.lonCells = int(math.Ceil(360 / cell))
-	ix.lonCellDeg = 360 / float64(ix.lonCells)
-	ix.cells = make([][]int32, ix.latCells*ix.lonCells)
+	latCells := int(math.Ceil(180 / cell))
+	lonCells := int(math.Ceil(360 / cell))
+	if latCells == ix.latCells && lonCells == ix.lonCells && ix.cells != nil {
+		for i := range ix.cells {
+			ix.cells[i] = ix.cells[i][:0]
+		}
+	} else {
+		ix.latCells = latCells
+		ix.latCellDeg = 180 / float64(latCells)
+		ix.lonCells = lonCells
+		ix.lonCellDeg = 360 / float64(lonCells)
+		ix.cells = make([][]int32, latCells*lonCells)
+	}
 	for i := range snap {
 		ci := ix.cellOf(snap[i].ECEF)
 		ix.cells[ci] = append(ix.cells[ci], int32(i))
 	}
-	return ix
 }
 
 // Len returns the number of satellites indexed.

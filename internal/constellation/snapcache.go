@@ -52,11 +52,22 @@ type SharedSnapshot struct {
 func (s *SharedSnapshot) Skipped() int { return s.skipped }
 
 // Index returns the snapshot's spatial index, building it on first use
-// (exactly once, shared by every holder).
+// (exactly once, shared by every holder). The index shell is drawn
+// from the cache's recycle pool when one is available, so steady-state
+// slots rebuild into the previous slot's cell buffers instead of
+// allocating a fresh grid.
 func (s *SharedSnapshot) Index() *SnapshotIndex {
 	s.idxOnce.Do(func() {
 		t0 := time.Now()
-		s.idx = NewSnapshotIndex(s.States)
+		var ix *SnapshotIndex
+		if s.cache != nil {
+			ix = s.cache.popIndex()
+		}
+		if ix == nil {
+			ix = &SnapshotIndex{}
+		}
+		ix.Rebuild(s.States)
+		s.idx = ix
 		if s.cache != nil && s.cache.metrics != nil {
 			s.cache.metrics.indexBuilds.Inc()
 			s.cache.metrics.indexBuildMs.Set(float64(time.Since(t0).Nanoseconds()) / 1e6)
@@ -82,7 +93,13 @@ type cacheMetrics struct {
 	entries                 *telemetry.Gauge
 	indexBuilds             *telemetry.Counter
 	indexBuildMs            *telemetry.FloatGauge
+	bufferReuses            *telemetry.Counter
 }
+
+// snapPoolCap bounds each recycle pool (state slices and index
+// shells). Steady-state campaigns cycle one or two buffers; anything
+// beyond the bound is dropped to the GC rather than hoarded.
+const snapPoolCap = 8
 
 // SnapshotCache shares propagated constellation snapshots — and their
 // spatial indexes — across every consumer of a slot: the scheduler's
@@ -97,6 +114,16 @@ type SnapshotCache struct {
 	entries map[snapKey]*SharedSnapshot
 	lru     *list.List // front = most recent; unpinned entries only
 	metrics *cacheMetrics
+
+	// workers is the snapshot fan-out Acquire propagates with (see
+	// SetSnapshotWorkers); 0 defers to the constellation's own knob.
+	workers int
+
+	// Recycle pools, fed exclusively by eviction — the one point where
+	// refs == 0 is guaranteed (only unpinned entries sit on the LRU), so
+	// a pooled buffer can never alias a snapshot a holder still sees.
+	statePool [][]SatState
+	idxPool   []*SnapshotIndex
 }
 
 // NewSnapshotCache builds a cache retaining up to capacity unpinned
@@ -121,9 +148,33 @@ func NewSnapshotCache(capacity int, reg *telemetry.Registry) *SnapshotCache {
 			entries:      reg.Gauge("snapshot_cache_entries", "snapshots currently cached"),
 			indexBuilds:  reg.Counter("snapshot_index_builds_total", "spatial indexes built over snapshots"),
 			indexBuildMs: reg.FloatGauge("snapshot_index_build_ms", "build time of the most recent spatial index"),
+			bufferReuses: reg.Counter("snapshot_buffer_reuses_total", "snapshot state buffers recycled from evicted entries"),
 		}
 	}
 	return c
+}
+
+// SetSnapshotWorkers sets the fan-out Acquire uses when propagating a
+// missed snapshot: 0 defers to the constellation's SnapshotWorkers
+// field, <0 selects GOMAXPROCS, 1 forces the serial sweep. Output is
+// byte-identical at every value, so this is purely a throughput knob.
+func (c *SnapshotCache) SetSnapshotWorkers(n int) {
+	c.mu.Lock()
+	c.workers = n
+	c.mu.Unlock()
+}
+
+// popIndex pops a recycled index shell, or nil when the pool is empty.
+func (c *SnapshotCache) popIndex() *SnapshotIndex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.idxPool); n > 0 {
+		ix := c.idxPool[n-1]
+		c.idxPool[n-1] = nil
+		c.idxPool = c.idxPool[:n-1]
+		return ix
+	}
+	return nil
 }
 
 // Acquire returns the shared snapshot of cons at time t, propagating it
@@ -150,14 +201,29 @@ func (c *SnapshotCache) Acquire(cons *Constellation, t time.Time) *SharedSnapsho
 	if c.metrics != nil {
 		c.metrics.entries.Set(int64(len(c.entries)))
 	}
+	// Claim a recycled state buffer and the worker knob while still
+	// under the lock.
+	var buf []SatState
+	if n := len(c.statePool); n > 0 {
+		buf = c.statePool[n-1]
+		c.statePool[n-1] = nil
+		c.statePool = c.statePool[:n-1]
+	}
+	workers := c.workers
 	c.mu.Unlock()
+	if workers == 0 {
+		workers = cons.SnapshotWorkers
+	}
 
 	// Propagate outside the lock: other keys stay acquirable, and late
 	// acquirers of this key wait on the ready channel.
-	s.States, s.skipped = cons.SnapshotSkipped(t)
+	s.States, s.skipped = cons.SnapshotInto(buf, t, workers)
 	close(s.ready)
 	if c.metrics != nil {
 		c.metrics.misses.Inc()
+		if buf != nil {
+			c.metrics.bufferReuses.Inc()
+		}
 		if s.skipped > 0 {
 			c.metrics.propSkips.Add(int64(s.skipped))
 		}
@@ -184,6 +250,18 @@ func (c *SnapshotCache) release(s *SharedSnapshot) {
 		c.lru.Remove(back)
 		old.elem = nil
 		delete(c.entries, old.key)
+		// Eviction is the one safe recycle point: only unpinned entries
+		// (refs == 0, no holders) sit on the LRU, so the evicted buffers
+		// cannot alias a snapshot anyone still references. Detach them
+		// from the dead entry so a stale holder bug fails loudly (nil
+		// States) instead of silently reading recycled data.
+		if len(c.statePool) < snapPoolCap && old.States != nil {
+			c.statePool = append(c.statePool, old.States[:0])
+		}
+		if len(c.idxPool) < snapPoolCap && old.idx != nil {
+			c.idxPool = append(c.idxPool, old.idx)
+		}
+		old.States, old.idx = nil, nil
 		if c.metrics != nil {
 			c.metrics.evictions.Inc()
 		}

@@ -1,0 +1,184 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/astro"
+	"repro/internal/telemetry"
+)
+
+// parallelConfig builds a constellation spanning several worker chunks
+// (648 satellites > 2 × snapshotChunk), so SnapshotInto's fan-out path
+// actually engages — smallConfig's 120 satellites resolve to a serial
+// sweep at any worker count.
+func parallelConfig() Config {
+	return Config{
+		Shells: []Shell{
+			{Name: "pa", AltitudeKm: 550, InclinationDeg: 53, Planes: 24, SatsPerPlane: 22, PhasingF: 7},
+			{Name: "pb", AltitudeKm: 570, InclinationDeg: 70, Planes: 6, SatsPerPlane: 20, PhasingF: 3},
+		},
+		Seed: 3,
+	}
+}
+
+// snapshotRun is one worker count's observable output: the states plus
+// the constellation's complete skip accounting afterward.
+type snapshotRun struct {
+	states  []SatState
+	skipped int
+	total   int64
+	bySat   map[int]string
+}
+
+func runSnapshot(t *testing.T, workers int, at time.Duration, failIdx []int) snapshotRun {
+	t.Helper()
+	cons, err := New(parallelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range failIdx {
+		cons.Sats[i].Propagator = failEph{epoch: cons.Epoch}
+	}
+	states, skipped := cons.SnapshotInto(nil, cons.Epoch.Add(at), workers)
+	total, bySat := cons.PropagationSkips()
+	return snapshotRun{states: states, skipped: skipped, total: total, bySat: bySat}
+}
+
+// TestSnapshotIntoWorkerIdentity is the golden byte-identity check:
+// states (values, order, float bits), skip totals, and per-satellite
+// first-error text must be identical at every worker count, including
+// with failing propagators scattered across chunks.
+func TestSnapshotIntoWorkerIdentity(t *testing.T) {
+	failIdx := []int{5, 300, 640}
+	golden := runSnapshot(t, 1, 30*time.Minute, failIdx)
+	if golden.skipped != len(failIdx) || golden.total != int64(len(failIdx)) {
+		t.Fatalf("serial run skipped %d (total %d), want %d", golden.skipped, golden.total, len(failIdx))
+	}
+	for _, workers := range []int{4, 8} {
+		got := runSnapshot(t, workers, 30*time.Minute, failIdx)
+		if len(got.states) != len(golden.states) {
+			t.Fatalf("workers=%d: %d states, serial %d", workers, len(got.states), len(golden.states))
+		}
+		for i := range got.states {
+			g, w := got.states[i], golden.states[i]
+			if g.Sat.ID != w.Sat.ID || g.Sunlit != w.Sunlit ||
+				math.Float64bits(g.ECEF.X) != math.Float64bits(w.ECEF.X) ||
+				math.Float64bits(g.ECEF.Y) != math.Float64bits(w.ECEF.Y) ||
+				math.Float64bits(g.ECEF.Z) != math.Float64bits(w.ECEF.Z) {
+				t.Fatalf("workers=%d: state %d = {%d %v %v}, serial {%d %v %v}",
+					workers, i, g.Sat.ID, g.ECEF, g.Sunlit, w.Sat.ID, w.ECEF, w.Sunlit)
+			}
+		}
+		if got.skipped != golden.skipped || got.total != golden.total {
+			t.Fatalf("workers=%d: skipped %d/%d, serial %d/%d",
+				workers, got.skipped, got.total, golden.skipped, golden.total)
+		}
+		if len(got.bySat) != len(golden.bySat) {
+			t.Fatalf("workers=%d: %d distinct failing sats, serial %d", workers, len(got.bySat), len(golden.bySat))
+		}
+		for id, msg := range golden.bySat {
+			if got.bySat[id] != msg {
+				t.Fatalf("workers=%d: sat %d first error %q, serial %q", workers, id, got.bySat[id], msg)
+			}
+		}
+	}
+}
+
+// TestSnapshotIntoZeroAlloc: the steady-state serial slot path — a
+// warm reused buffer, scratch-capable propagators — allocates nothing.
+func TestSnapshotIntoZeroAlloc(t *testing.T) {
+	cons, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cons.Epoch.Add(time.Hour)
+	buf, _ := cons.SnapshotInto(nil, at, 1)
+	first := &buf[0]
+	allocs := testing.AllocsPerRun(10, func() {
+		buf, _ = cons.SnapshotInto(buf, at, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm serial SnapshotInto allocates %v per run, want 0", allocs)
+	}
+	if &buf[0] != first {
+		t.Fatal("warm SnapshotInto abandoned its reusable backing array")
+	}
+}
+
+// TestSnapshotCachePoolRecycle proves the eviction-fed recycle path:
+// an evicted snapshot's state buffer and index shell are reused by the
+// next propagation, and a recycled buffer never aliases a snapshot a
+// holder still references.
+func TestSnapshotCachePoolRecycle(t *testing.T) {
+	cons := testCons(t)
+	reg := telemetry.NewRegistry()
+	cache := NewSnapshotCache(1, reg)
+	t0 := cons.Epoch.Add(time.Hour)
+
+	pinned := cache.Acquire(cons, t0)
+	pinnedFirst := pinned.States[0]
+	pinnedPtr := &pinned.States[0]
+
+	b := cache.Acquire(cons, t0.Add(time.Minute))
+	bPtr := &b.States[0]
+	bIdx := b.Index()
+	b.Release() // parked on the LRU (within capacity)
+
+	c := cache.Acquire(cons, t0.Add(2*time.Minute))
+	c.Release() // exceeds capacity: evicts b, feeding the pools
+
+	d := cache.Acquire(cons, t0.Add(3*time.Minute))
+	defer d.Release()
+	if &d.States[0] != bPtr {
+		t.Fatal("evicted snapshot's state buffer was not recycled")
+	}
+	if &d.States[0] == pinnedPtr {
+		t.Fatal("recycled buffer aliases a still-pinned snapshot")
+	}
+	if d.Index() != bIdx {
+		t.Fatal("evicted snapshot's index shell was not recycled")
+	}
+	if pinned.States[0] != pinnedFirst {
+		t.Fatal("pinned snapshot changed after buffer recycling — aliasing bug")
+	}
+	if n := counterValue(reg, "snapshot_buffer_reuses_total"); n != 1 {
+		t.Fatalf("snapshot_buffer_reuses_total = %d, want 1", n)
+	}
+	pinned.Release()
+}
+
+// TestSnapshotIndexRebuildReusesCells: Rebuild over a new snapshot of
+// the same constellation keeps the cell table's backing arrays (the
+// grid dims are unchanged) and answers queries identically to a fresh
+// build.
+func TestSnapshotIndexRebuildReusesCells(t *testing.T) {
+	cons := testCons(t)
+	t0 := cons.Epoch.Add(time.Hour)
+	snap1 := cons.Snapshot(t0)
+	ix := NewSnapshotIndex(snap1)
+	cellsBefore := &ix.cells[0]
+
+	snap2 := cons.Snapshot(t0.Add(5 * time.Minute))
+	ix.Rebuild(snap2)
+	if &ix.cells[0] != cellsBefore {
+		t.Fatal("Rebuild with unchanged grid dims reallocated the cell table")
+	}
+
+	fresh := NewSnapshotIndex(snap2)
+	for _, obs := range []astro.Geodetic{
+		{LatDeg: 47.6, LonDeg: -122.3}, {LatDeg: -33.9, LonDeg: 151.2}, {LatDeg: 0.1, LonDeg: 0.1},
+	} {
+		got := ix.ObserveFrom(obs, 25)
+		want := fresh.ObserveFrom(obs, 25)
+		if len(got) != len(want) {
+			t.Fatalf("rebuilt index sees %d satellites from %v, fresh build %d", len(got), obs, len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rebuilt index result %d = %+v, fresh build %+v", i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -123,12 +123,15 @@ func TestCoordinatorMatchesSerial(t *testing.T) {
 // dead worker's shard replayed from the journal onto a survivor — no
 // duplicated or missing (slot, terminal) records.
 func TestCoordinatorWorkerDeath(t *testing.T) {
-	spec := testSpec(12)
+	// The throttle × slot count must keep every shard's campaign running
+	// well past the 60 ms kill below — the snapshot engine is fast
+	// enough that an unthrottled run finishes first.
+	spec := testSpec(30)
 	golden := serialBytes(t, spec)
 
 	servers := make([]*dishrpc.Server, 3)
 	for i := range servers {
-		servers[i] = startWorker(t, 3*time.Millisecond)
+		servers[i] = startWorker(t, 5*time.Millisecond)
 	}
 	journals := t.TempDir()
 	var out bytes.Buffer

@@ -48,6 +48,10 @@ type CampaignSpec struct {
 	Oracle bool `json:"oracle"`
 	// ResetEvery is the terminal reset cadence in slots (0 = default).
 	ResetEvery int `json:"reset_every,omitempty"`
+	// SnapshotWorkers is the per-slot propagation fan-out (0 =
+	// GOMAXPROCS). Snapshots are byte-identical at every value, so this
+	// is safe to vary per worker host without breaking shard replay.
+	SnapshotWorkers int `json:"snapshot_workers,omitempty"`
 }
 
 // Builder turns a spec into a runnable campaign config. The returned
@@ -59,20 +63,22 @@ type Builder func(CampaignSpec) (core.CampaignConfig, error)
 // from (scale, seed), exactly what cmd/repro runs single-process.
 func BuildCampaign(spec CampaignSpec) (core.CampaignConfig, error) {
 	env, err := experiments.NewEnv(experiments.Config{
-		Scale: experiments.Scale(spec.Scale),
-		Seed:  spec.Seed,
+		Scale:           experiments.Scale(spec.Scale),
+		Seed:            spec.Seed,
+		SnapshotWorkers: spec.SnapshotWorkers,
 	})
 	if err != nil {
 		return core.CampaignConfig{}, err
 	}
 	return core.CampaignConfig{
-		Scheduler:  env.Sched,
-		Identifier: env.Ident,
-		Start:      env.Start(),
-		Slots:      spec.Slots,
-		Oracle:     spec.Oracle,
-		ResetEvery: spec.ResetEvery,
-		Snapshots:  env.Snaps,
+		Scheduler:       env.Sched,
+		Identifier:      env.Ident,
+		Start:           env.Start(),
+		Slots:           spec.Slots,
+		Oracle:          spec.Oracle,
+		ResetEvery:      spec.ResetEvery,
+		SnapshotWorkers: spec.SnapshotWorkers,
+		Snapshots:       env.Snaps,
 	}, nil
 }
 

@@ -38,6 +38,12 @@ type CampaignConfig struct {
 	// is owned by exactly one worker and records merge back in
 	// deterministic (slot, terminal) order.
 	Workers int
+	// SnapshotWorkers is the fan-out for the per-slot constellation
+	// propagation sweep (orthogonal to Workers, which shards
+	// terminals). 0 keeps the snapshot cache's current setting; <0
+	// selects GOMAXPROCS; 1 forces the serial sweep. Snapshots are
+	// byte-identical at every value.
+	SnapshotWorkers int
 	// Metrics, when non-nil, receives engine counters and the optional
 	// decision trace. Purely observational: record contents, ordering,
 	// and determinism are unaffected at any worker count.
@@ -192,22 +198,30 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 	return res, nil
 }
 
+// slotScratch is per-worker reusable buffer space for the slot loop:
+// the field-of-view sweep appends into fov instead of growing a fresh
+// slice per (slot, terminal) cell. Owned by exactly one goroutine.
+type slotScratch struct {
+	fov []constellation.Visible
+}
+
 // runSlotTerminal produces the record for one (slot, terminal) cell.
 // It is the single slot-processing body shared by the serial and
 // parallel engines, so the two cannot drift apart. m is the terminal's
-// dish state; the caller guarantees exclusive ownership. matcher is
-// the caller's reusable DTW engine (one per worker), likewise owned
+// dish state; the caller guarantees exclusive ownership. matcher and
+// scratch are the caller's reusable per-worker buffers, likewise owned
 // exclusively; results are bit-identical at any matcher because
-// pruning is exact.
+// pruning is exact, and the fov scratch never escapes (availFromFov
+// copies into the record).
 func runSlotTerminal(cfg *CampaignConfig, term scheduler.Terminal, m *obstruction.Map,
-	matcher *dtw.Matcher, slotStart time.Time, shared *constellation.SharedSnapshot,
+	matcher *dtw.Matcher, scratch *slotScratch, slotStart time.Time, shared *constellation.SharedSnapshot,
 	alloc scheduler.Allocation, attempted, correct, failed *int) SlotRecord {
-	var avail []SatObs
 	if cfg.DisableIndex {
-		avail = AvailableSet(shared.States, term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg)
+		scratch.fov = constellation.AppendObserveFrom(scratch.fov[:0], term.VantagePoint.Location, shared.States, cfg.Identifier.MinElevationDeg)
 	} else {
-		avail = AvailableSetIndexed(shared.Index(), term.VantagePoint, slotStart, cfg.Identifier.MinElevationDeg)
+		scratch.fov = shared.Index().AppendObserveFrom(scratch.fov[:0], term.VantagePoint.Location, cfg.Identifier.MinElevationDeg)
 	}
+	avail := availFromFov(scratch.fov, slotStart)
 	rec := SlotRecord{
 		Observation: Observation{
 			Terminal:  term.Name,

@@ -113,6 +113,9 @@ func prepareCampaign(cfg *CampaignConfig) ([]scheduler.Terminal, int, error) {
 	if cfg.Snapshots == nil {
 		cfg.Snapshots = constellation.NewSnapshotCache(0, nil)
 	}
+	if cfg.SnapshotWorkers != 0 {
+		cfg.Snapshots.SetSnapshotWorkers(cfg.SnapshotWorkers)
+	}
 	terms := cfg.Scheduler.Terminals()
 	for _, t := range terms {
 		if err := validateVantagePoint(t.VantagePoint); err != nil {
@@ -150,6 +153,7 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 		}
 	}
 	matcher := &dtw.Matcher{}
+	scratch := &slotScratch{}
 
 	stats := &CampaignStats{Slots: cfg.Slots, Terminals: hi - lo}
 	start := scheduler.EpochStart(cfg.Start)
@@ -171,7 +175,7 @@ func streamSerial(ctx context.Context, cfg CampaignConfig, terms []scheduler.Ter
 
 		for ti := lo; ti < hi; ti++ {
 			t := terms[ti]
-			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, slotStart, shared,
+			rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, scratch, slotStart, shared,
 				allocFor(allocs, ti, t.Name),
 				&stats.Attempted, &stats.Correct, &stats.Failed)
 			if slot < cfg.EmitFromSlot {
@@ -303,6 +307,7 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				}
 			}
 			matcher := &dtw.Matcher{}
+			scratch := &slotScratch{}
 			var c counters
 			for item := range chans[w] {
 				if run.Err() != nil {
@@ -315,7 +320,7 @@ func streamParallel(ctx context.Context, cfg CampaignConfig, terms []scheduler.T
 				}
 				for ti := w; ti < nTerms; ti += workers {
 					t := terms[ti]
-					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, item.slotStart,
+					rec := runSlotTerminal(&cfg, t, maps[t.Name], matcher, scratch, item.slotStart,
 						getSnap(item.slot), allocFor(item.allocs, ti, t.Name),
 						&c.attempted, &c.correct, &c.failed)
 					releaseSnap(item.slot)

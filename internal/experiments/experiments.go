@@ -77,6 +77,11 @@ type Config struct {
 	// core.CampaignConfig.Workers). 0 uses all CPUs; 1 forces the
 	// serial engine.
 	Workers int
+	// SnapshotWorkers is the fan-out for the per-slot constellation
+	// propagation sweep (see core.CampaignConfig.SnapshotWorkers). 0
+	// selects GOMAXPROCS; 1 forces the serial sweep. Byte-identical
+	// output at every value.
+	SnapshotWorkers int
 	// Telemetry, when non-nil, wires the environment's scheduler,
 	// campaigns, pipelines, and model training into the registry. Nil
 	// (the default) keeps every hot path on its uninstrumented branch.
@@ -157,6 +162,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		terms = append(terms, scheduler.Terminal{VantagePoint: vp, Priority: 1})
 	}
 	snaps := constellation.NewSnapshotCache(0, cfg.Telemetry)
+	snaps.SetSnapshotWorkers(cfg.SnapshotWorkers)
 	sched, err := scheduler.NewGlobal(scheduler.Config{
 		Constellation:    cons,
 		Terminals:        terms,

@@ -193,6 +193,13 @@ type Global struct {
 	// launch window bounds for recency normalization.
 	oldest, newest time.Time
 
+	// Allocate-only scratch for the per-terminal candidate sweep.
+	// Allocate is serial by contract (stateful load walk / RNG), so one
+	// buffer pair suffices; CandidatesAt must NOT use it — its result
+	// escapes to the caller.
+	fovScratch  []constellation.Visible
+	candScratch []Candidate
+
 	// metrics is nil when telemetry is disabled.
 	metrics *Metrics
 }
@@ -329,7 +336,9 @@ func (g *Global) Allocate(t time.Time) []Allocation {
 
 	out := make([]Allocation, 0, len(g.terms))
 	for _, term := range g.terms {
-		cands := g.candidates(term, shared)
+		var cands []Candidate
+		g.fovScratch, cands = g.appendCandidates(g.fovScratch, g.candScratch[:0], term, shared)
+		g.candScratch = cands
 		alloc := Allocation{Terminal: term.Name, SlotStart: slotStart, Candidates: len(cands)}
 		g.metrics.observe(len(cands), len(cands) > 0)
 		if len(cands) > 0 {
@@ -391,19 +400,24 @@ func (g *Global) refreshGSVisibility(slot int64, shared *constellation.SharedSna
 	}
 }
 
-// candidates returns the eligible, scored satellites for one terminal.
-func (g *Global) candidates(term Terminal, shared *constellation.SharedSnapshot) []Candidate {
+// appendCandidates computes the eligible, scored satellites for one
+// terminal, appending into cands and sweeping the field of view
+// through fovBuf (both may be nil). It returns the (possibly regrown)
+// fov buffer for the caller to retain alongside the candidate slice.
+// The eligibility walk and RNG consumption order are identical
+// whatever buffers are passed, so scores are bit-identical.
+func (g *Global) appendCandidates(fovBuf []constellation.Visible, cands []Candidate,
+	term Terminal, shared *constellation.SharedSnapshot) ([]constellation.Visible, []Candidate) {
 	var fov []constellation.Visible
 	if g.noIndex {
-		fov = constellation.ObserveFrom(term.Location, shared.States, g.minElev)
+		fov = constellation.AppendObserveFrom(fovBuf[:0], term.Location, shared.States, g.minElev)
 	} else {
-		fov = shared.Index().ObserveFrom(term.Location, g.minElev)
+		fov = shared.Index().AppendObserveFrom(fovBuf[:0], term.Location, g.minElev)
 	}
 	recencyDen := g.newest.Sub(g.oldest).Hours()
 	if recencyDen <= 0 {
 		recencyDen = 1
 	}
-	var cands []Candidate
 	for _, v := range fov {
 		if g.gsVisible != nil && !g.gsVisible[v.Sat.ID] {
 			continue // bent-pipe: no gateway in view
@@ -451,16 +465,19 @@ func (g *Global) candidates(term Terminal, shared *constellation.SharedSnapshot)
 			g.rng.NormFloat64()*g.w.NoiseStd
 		cands = append(cands, c)
 	}
-	return cands
+	return fov, cands
 }
 
 // CandidatesAt exposes the scored candidate set for ablation tests.
+// The returned slice is freshly allocated (it escapes to the caller),
+// never the Allocate scratch.
 func (g *Global) CandidatesAt(term Terminal, t time.Time) []Candidate {
 	g.stepLoad(SlotIndex(t))
 	shared := g.snaps.Acquire(g.cons, EpochStart(t))
 	defer shared.Release()
 	g.refreshGSVisibility(SlotIndex(t), shared)
-	return g.candidates(term, shared)
+	_, cands := g.appendCandidates(nil, nil, term, shared)
+	return cands
 }
 
 // MAC is the on-satellite medium access control scheduler: terminals

@@ -28,6 +28,13 @@
 # sweep always runs at -benchtime=2x — each iteration is a whole
 # campaign, and the 100k-terminal variants take minutes each.
 #
+# PR8 adds the snapshot-engine benchmarks (BENCH_PR8.json):
+# BenchmarkSnapshot fresh/warm (warm must report 0 allocs/op — the
+# pooled steady state), BenchmarkSnapshotParallel at 2/4/8 workers
+# (byte-identical output at every width; the speedup needs real
+# cores), and BenchmarkSnapshotIndexRebuild (rebuild must report
+# 0 allocs/op). The fleet sweep gains the parsnap ablation group.
+#
 # Only the standard library and POSIX awk are assumed. The raw `go
 # test -bench` lines pass through on stderr so a terminal run stays
 # readable.
@@ -49,6 +56,8 @@ trap 'rm -f "$tmp"' EXIT
         -benchmem -benchtime="$benchtime"
     go test . -run='^$' -bench='^BenchmarkCampaignFleet$' \
         -benchmem -benchtime=2x -timeout=60m
+    go test ./internal/constellation -run='^$' -bench='^BenchmarkSnapshot' \
+        -benchmem -benchtime="$benchtime"
     go test . -run='^$' -bench='^BenchmarkSchedulerAllocate$' \
         -benchmem -benchtime="$benchtime"
     go test ./internal/telemetry -run='^$' -bench=. \
