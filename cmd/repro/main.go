@@ -5,11 +5,15 @@
 // Usage:
 //
 //	repro [flags] <experiment>
+//	repro -scenario <file-or-preset> [dist]
+//	repro -list-scenarios
 //
 // Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 stream all
 //
 // Flags:
 //
+//	-scenario file|name         run a declarative scenario (JSON file or embedded preset)
+//	-list-scenarios             list the embedded scenario presets and exit
 //	-scale   small|medium|full  constellation density (default medium)
 //	-seed    int                deterministic seed (default 7)
 //	-slots   int                campaign length in 15s slots (default 500)
@@ -44,6 +48,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obstruction"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/skyplot"
 	"repro/internal/telemetry"
 	"repro/internal/traceio"
@@ -52,6 +57,8 @@ import (
 // options carries the flag values into run; one struct instead of a
 // dozen positional parameters.
 type options struct {
+	scenario      string
+	listScenarios bool
 	scale         string
 	seed          int64
 	slots         int
@@ -78,6 +85,8 @@ type options struct {
 
 func main() {
 	var opt options
+	flag.StringVar(&opt.scenario, "scenario", "", "run a declarative scenario: a JSON file path or an embedded preset name")
+	flag.BoolVar(&opt.listScenarios, "list-scenarios", false, "list the embedded scenario presets and exit")
 	flag.StringVar(&opt.scale, "scale", "medium", "constellation scale: small|medium|full")
 	flag.Int64Var(&opt.seed, "seed", 7, "deterministic seed")
 	flag.IntVar(&opt.slots, "slots", 500, "campaign length in 15-second slots")
@@ -112,14 +121,50 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 {
+	if opt.listScenarios {
+		if err := listScenarios(); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// A scenario is itself a full experiment run, so the positional
+	// experiment argument becomes optional (only dist combines with it).
+	what := ""
+	switch {
+	case flag.NArg() == 1:
+		what = flag.Arg(0)
+	case flag.NArg() == 0 && opt.scenario != "":
+	default:
 		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|dist|all")
+		fmt.Fprintln(os.Stderr, "       repro -scenario <file-or-preset> [dist]")
 		os.Exit(2)
 	}
-	if err := run(ctx, flag.Arg(0), opt); err != nil {
+	if err := run(ctx, what, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+}
+
+// listScenarios prints the embedded preset table: what `-scenario
+// <name>` accepts without a file.
+func listScenarios() error {
+	for _, name := range scenario.PresetNames() {
+		spec, err := scenario.LoadPreset(name)
+		if err != nil {
+			return err
+		}
+		shells, err := spec.Shells()
+		if err != nil {
+			return err
+		}
+		sats := 0
+		for _, sh := range shells {
+			sats += sh.Planes * sh.SatsPerPlane
+		}
+		fmt.Printf("%-18s %5d sats  %4d slots  %s\n", name, sats, spec.Campaign.Slots, spec.Description)
+	}
+	return nil
 }
 
 // runWorker serves shard campaigns until the context is cancelled —
@@ -139,10 +184,26 @@ func runWorker(ctx context.Context, opt options) error {
 // runDist shards the campaign across external worker processes and
 // prints the sha256 of the merged JSONL stream. With no -coord-workers
 // it runs the identical campaign single-process — producing the golden
-// hash a distributed run must match.
-func runDist(ctx context.Context, opt options, reg *telemetry.Registry) error {
+// hash a distributed run must match. A non-nil scn replaces the
+// (scale, seed) Starlink description: workers rebuild the scenario's
+// environment — constellation geometry, terminal placement, scheduler
+// config — from the spec shipped inside the campaign description.
+func runDist(ctx context.Context, opt options, reg *telemetry.Registry, scn *scenario.Spec) error {
 	spec := coord.CampaignSpec{Scale: opt.scale, Seed: opt.seed, Slots: opt.slots, Oracle: true,
 		SnapshotWorkers: opt.snapWorkers}
+	if scn != nil {
+		spec = coord.CampaignSpec{
+			Scenario:        scn,
+			Seed:            scn.Seed,
+			Slots:           scn.Campaign.Slots,
+			Oracle:          scn.Campaign.Oracle,
+			ResetEvery:      scn.Campaign.ResetEvery,
+			SnapshotWorkers: opt.snapWorkers,
+		}
+		if spec.SnapshotWorkers == 0 {
+			spec.SnapshotWorkers = scn.Campaign.SnapshotWorkers
+		}
+	}
 	h := sha256.New()
 	var out io.Writer = h
 	if opt.coordOut != "" {
@@ -226,6 +287,29 @@ func run(ctx context.Context, what string, opt options) error {
 	if opt.telemetryAddr != "" || opt.verbose {
 		reg = telemetry.NewRegistry()
 	}
+	// Resolve the scenario first: it replaces (scale, seed, slots) as
+	// the experiment description, and dist ships it to the workers.
+	var scn *scenario.Spec
+	if opt.scenario != "" {
+		var err error
+		scn, err = scenario.Resolve(opt.scenario)
+		if err != nil {
+			return err
+		}
+		// Explicitly-set flags beat the spec file; the defaults (seed 7,
+		// slots 500) must not clobber what the scenario asked for.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "slots":
+				scn.Campaign.Slots = opt.slots
+			case "seed":
+				scn.Seed = opt.seed
+			}
+		})
+		if what != "" && what != "dist" {
+			return fmt.Errorf("-scenario runs its own pipeline; it combines only with the dist experiment (got %q)", what)
+		}
+	}
 	// dist never touches the local constellation — workers build their
 	// own environment from the spec — so it skips env construction
 	// entirely and the coordinator host stays lightweight.
@@ -240,13 +324,16 @@ func run(ctx context.Context, what string, opt options) error {
 			}
 			fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics\n", srv.Addr())
 		}
-		if err := runDist(ctx, opt, reg); err != nil {
+		if err := runDist(ctx, opt, reg, scn); err != nil {
 			return fmt.Errorf("dist: %w", err)
 		}
 		if opt.verbose {
 			printTelemetry(reg)
 		}
 		return nil
+	}
+	if scn != nil {
+		return runScenario(ctx, scn, opt, reg)
 	}
 	traceDepth := opt.traceDepth
 	if traceDepth == 0 && opt.traceOut != "" {
@@ -385,6 +472,202 @@ func run(ctx context.Context, what string, opt options) error {
 		printTelemetry(reg)
 	}
 	return nil
+}
+
+// runScenario executes a declarative scenario end to end: build the
+// environment from the spec, validate identification (§4), run one
+// oracle campaign, and feed the collected observations through every
+// enabled analysis — the §5 behavioral suite, the §6 forest, and the
+// planted-preference recovery experiment. The output carries no
+// wall-clock timings on purpose: two runs of the same scenario must
+// be byte-identical, which is what the CI smoke job asserts.
+func runScenario(ctx context.Context, spec *scenario.Spec, opt options, reg *telemetry.Registry) error {
+	traceDepth := opt.traceDepth
+	if traceDepth == 0 && opt.traceOut != "" {
+		traceDepth = 4096
+	}
+	built, err := spec.Build(scenario.BuildOptions{
+		Telemetry:       reg,
+		TraceDecisions:  traceDepth,
+		DisableIndex:    opt.noIndex,
+		Workers:         opt.workers,
+		SnapshotWorkers: opt.snapWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	env := built.Env
+	env.Ctx = ctx
+	if opt.telemetryAddr != "" {
+		srv, err := telemetry.StartServer(ctx, opt.telemetryAddr, reg, env.Trace())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "repro: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	fmt.Printf("==== scenario %s ====\n", spec.Name)
+	if spec.Description != "" {
+		fmt.Printf("# %s\n", spec.Description)
+	}
+	fmt.Printf("# constellation: %d satellites; terminals: %d; seed %d; %d slots\n",
+		env.Cons.Len(), len(env.Terminals), spec.Seed, built.Slots)
+
+	if spec.AnalysisEnabled("ident") {
+		fmt.Println("\n---- ident ----")
+		fmt.Printf("§4 identification validation over %d slots (DTW vs ground truth)\n", built.IdentSlots)
+		res, err := env.IdentValidation(built.IdentSlots, false)
+		if err != nil {
+			return fmt.Errorf("ident: %w", err)
+		}
+		fmt.Printf("attempted=%d correct=%d failed=%d accuracy=%.1f%% median_margin=%.2f\n",
+			res.Attempted, res.Correct, res.Failed, res.Accuracy*100, res.MedianMargin)
+	}
+
+	// Every remaining stage consumes the same observation set, so the
+	// campaign runs exactly once no matter how many are enabled.
+	needObs := spec.Outputs.Observations != "" || opt.saveObs != ""
+	for _, a := range []string{"aoe", "azimuth", "launch", "sunlit", "model", "recovery"} {
+		needObs = needObs || spec.AnalysisEnabled(a)
+	}
+	if !needObs {
+		return finishScenario(env, opt, reg)
+	}
+	collect := &pipeline.CollectObservations{}
+	sinks := []pipeline.Sink{collect}
+	savePath := spec.Outputs.Observations
+	if opt.saveObs != "" {
+		savePath = opt.saveObs
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, pipeline.WriteObservations(f))
+	}
+	before := takeSkips(env.Telemetry)
+	st, err := env.StreamObservations(built.Slots, sinks...)
+	if err != nil {
+		return err
+	}
+	obs := collect.Obs
+	fmt.Printf("\n# %d observations from the %d-slot oracle campaign\n", len(obs), built.Slots)
+	printCampaignStats(st, env.Telemetry, before)
+	if savePath != "" {
+		fmt.Printf("# wrote observations to %s\n", savePath)
+	}
+
+	stage := func(name string, f func() error) error {
+		if !spec.AnalysisEnabled(name) {
+			return nil
+		}
+		fmt.Printf("\n---- %s ----\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	if err := stage("aoe", func() error {
+		a, err := env.Fig4(obs)
+		if err != nil {
+			return err
+		}
+		printAOE(a)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := stage("azimuth", func() error {
+		a, err := env.Fig5(obs)
+		if err != nil {
+			return err
+		}
+		printAzimuth(a)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := stage("launch", func() error {
+		a, err := env.Fig6(obs)
+		if err != nil {
+			return err
+		}
+		printLaunch(a)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := stage("sunlit", func() error {
+		a, err := env.Fig7(obs)
+		if err != nil {
+			return err
+		}
+		printSunlit(a)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := stage("model", func() error {
+		return runFig8(env, obs, opt.fullGrid, opt.saveMdl)
+	}); err != nil {
+		return err
+	}
+	if err := stage("recovery", func() error {
+		planted, ok := spec.PlantedWeights()
+		if !ok {
+			return fmt.Errorf("no planted scheduler weights in the spec")
+		}
+		res, err := scenario.RunPreferenceRecovery(ctx, obs, planted, experiments.QuickModelConfig(spec.Seed))
+		if err != nil {
+			return err
+		}
+		printRecovery(res)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return finishScenario(env, opt, reg)
+}
+
+// finishScenario mirrors the non-scenario run epilogue: decision-ring
+// dump and the -v telemetry summary.
+func finishScenario(env *experiments.Env, opt options, reg *telemetry.Registry) error {
+	if opt.traceOut != "" {
+		if err := dumpTrace(env, opt.traceOut); err != nil {
+			return err
+		}
+	}
+	if opt.verbose {
+		printPropagationSkips(env)
+		printTelemetry(reg)
+	}
+	return nil
+}
+
+// printRecovery reports the planted-preference recovery experiment:
+// planted ordering vs what the behavioral effects and the forest
+// recovered, with an explicit PASS/FAIL verdict.
+func printRecovery(r *scenario.RecoveryResult) {
+	fmt.Println("planted-preference recovery: §5 effects + §6 forest vs the planted weights")
+	fmt.Printf("planted weights: elevation=%.2f sunlit=%.2f recency=%.2f (order %s)\n",
+		r.Planted.Elevation, r.Planted.Sunlit, r.Planted.Recency, strings.Join(r.PlantedOrder, " > "))
+	fmt.Println("axis\tobserved_effect\tforest_effect")
+	for _, ax := range scenario.RecoveryAxes {
+		fmt.Printf("%s\t%+.3f\t%+.3f\n", ax, r.ObservedEffects[ax], r.ForestEffects[ax])
+	}
+	fmt.Printf("behavioral order: %s [%s]\n", strings.Join(r.ObservedOrder, " > "), passFail(r.ObservedOrderRecovered))
+	fmt.Printf("forest order:     %s [%s]\n", strings.Join(r.ForestOrder, " > "), passFail(r.OrderRecovered))
+	fmt.Printf("model top-1 %.3f vs baseline %.3f [%s]\n", r.ModelTop1, r.BaselineTop1, passFail(r.ModelBeatsBaseline))
+	fmt.Printf("recovery over %d rows: %s\n", r.Rows,
+		passFail(r.ObservedOrderRecovered && r.OrderRecovered && r.ModelBeatsBaseline))
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
 }
 
 // printPropagationSkips reports, once per distinct satellite, the

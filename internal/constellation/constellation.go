@@ -29,7 +29,31 @@ import (
 	"repro/internal/units"
 )
 
-// Shell describes one Walker-delta shell: a set of evenly spaced
+// Geometry selects the Walker pattern a shell's planes follow.
+type Geometry string
+
+const (
+	// WalkerDelta spreads the ascending nodes over the full 360°
+	// (Starlink's inclined shells). The zero value selects it.
+	WalkerDelta Geometry = "walker-delta"
+	// WalkerStar spreads the ascending nodes over 180°, so planes
+	// ascend on one side of the Earth and descend on the other
+	// (OneWeb, Iridium, Kepler near-polar designs).
+	WalkerStar Geometry = "walker-star"
+)
+
+// spreadDeg returns the RAAN span the shell's planes divide.
+func (g Geometry) spreadDeg() (float64, error) {
+	switch g {
+	case "", WalkerDelta:
+		return 360.0, nil
+	case WalkerStar:
+		return 180.0, nil
+	}
+	return 0, fmt.Errorf("unknown geometry %q (want %q or %q)", g, WalkerDelta, WalkerStar)
+}
+
+// Shell describes one Walker shell: a set of evenly spaced
 // circular-orbit planes at a common altitude and inclination.
 type Shell struct {
 	Name           string
@@ -39,8 +63,61 @@ type Shell struct {
 	SatsPerPlane   int
 	// PhasingF is the Walker phasing parameter: the slot offset (in
 	// units of 360/(Planes*SatsPerPlane) degrees) between adjacent
-	// planes.
+	// planes. Valid Walker range is 0..Planes-1.
 	PhasingF int
+	// Geometry selects delta (360° RAAN spread, the zero value) or
+	// star (180° spread) plane layout.
+	Geometry Geometry
+}
+
+// Physical altitude bounds for a sustainable orbit: below ~120 km
+// drag deorbits within hours; beyond GEO+margin the "LEO shell" label
+// stops making sense and the mean-motion model's assumptions with it.
+const (
+	MinShellAltitudeKm = 120.0
+	MaxShellAltitudeKm = 50000.0
+)
+
+// Validate reports every problem with the shell's parameters joined
+// into one error, or nil. New rejects invalid shells with the same
+// checks; spec-driven callers (internal/scenario) use Validate
+// directly to collect all errors before attempting a build.
+func (sh Shell) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("shell %q: "+format, append([]any{sh.Name}, args...)...))
+	}
+	if sh.Planes <= 0 || sh.SatsPerPlane <= 0 {
+		fail("non-positive geometry %dx%d", sh.Planes, sh.SatsPerPlane)
+	}
+	if sh.Planes > 0 && (sh.PhasingF < 0 || sh.PhasingF >= sh.Planes) {
+		fail("phasing F=%d outside valid Walker range 0..%d", sh.PhasingF, sh.Planes-1)
+	}
+	if sh.AltitudeKm < MinShellAltitudeKm || sh.AltitudeKm > MaxShellAltitudeKm {
+		fail("non-physical altitude %.1f km (want %.0f..%.0f)", sh.AltitudeKm, MinShellAltitudeKm, MaxShellAltitudeKm)
+	}
+	if sh.InclinationDeg < 0 || sh.InclinationDeg > 180 {
+		fail("inclination %.2f° outside 0..180", sh.InclinationDeg)
+	}
+	if _, err := sh.Geometry.spreadDeg(); err != nil {
+		fail("%v", err)
+	}
+	return joinErrs(errs)
+}
+
+// joinErrs flattens a collected error list to nil / single / joined.
+func joinErrs(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
 }
 
 // StarlinkShells returns the four first-generation Starlink shells as
@@ -51,6 +128,30 @@ func StarlinkShells() []Shell {
 		{Name: "shell2", AltitudeKm: 540, InclinationDeg: 53.2, Planes: 72, SatsPerPlane: 22, PhasingF: 17},
 		{Name: "shell3", AltitudeKm: 570, InclinationDeg: 70.0, Planes: 36, SatsPerPlane: 20, PhasingF: 11},
 		{Name: "shell4", AltitudeKm: 560, InclinationDeg: 97.6, Planes: 6, SatsPerPlane: 58, PhasingF: 1},
+	}
+}
+
+// OneWebShells returns the OneWeb first-generation design: an 18×36
+// Walker-star at 1200 km / 86.4° (648 satellites).
+func OneWebShells() []Shell {
+	return []Shell{
+		{Name: "oneweb", AltitudeKm: 1200, InclinationDeg: 86.4, Planes: 18, SatsPerPlane: 36, PhasingF: 1, Geometry: WalkerStar},
+	}
+}
+
+// IridiumNextShells returns the Iridium NEXT design: a 6×11
+// Walker-star at 780 km / 86.4° (66 satellites).
+func IridiumNextShells() []Shell {
+	return []Shell{
+		{Name: "iridium-next", AltitudeKm: 780, InclinationDeg: 86.4, Planes: 6, SatsPerPlane: 11, PhasingF: 1, Geometry: WalkerStar},
+	}
+}
+
+// KeplerShells returns the Kepler design: a 7×20 Walker-star at
+// 600 km / 98.6° (140 satellites).
+func KeplerShells() []Shell {
+	return []Shell{
+		{Name: "kepler", AltitudeKm: 600, InclinationDeg: 98.6, Planes: 7, SatsPerPlane: 20, PhasingF: 1, Geometry: WalkerStar},
 	}
 }
 
@@ -120,6 +221,9 @@ type Config struct {
 	// FirstCatalogNum numbers satellites sequentially from here.
 	// Default 44714 (the first Starlink v1.0 catalog number).
 	FirstCatalogNum int
+	// NamePrefix names satellites "<prefix>-<n>". Default "STARLINK",
+	// matching the CelesTrak catalog names the paper's tooling keys on.
+	NamePrefix string
 }
 
 func (c *Config) applyDefaults() {
@@ -144,6 +248,9 @@ func (c *Config) applyDefaults() {
 	if c.FirstCatalogNum == 0 {
 		c.FirstCatalogNum = 44714
 	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "STARLINK"
+	}
 }
 
 // meanMotionRevDay converts a circular-orbit altitude to mean motion.
@@ -166,13 +273,14 @@ func New(cfg Config) (*Constellation, error) {
 	var all []*Satellite
 	catalog := cfg.FirstCatalogNum
 	for _, sh := range cfg.Shells {
-		if sh.Planes <= 0 || sh.SatsPerPlane <= 0 {
-			return nil, fmt.Errorf("constellation: shell %q has non-positive geometry %dx%d", sh.Name, sh.Planes, sh.SatsPerPlane)
+		if err := sh.Validate(); err != nil {
+			return nil, fmt.Errorf("constellation: %w", err)
 		}
+		spread, _ := sh.Geometry.spreadDeg() // Validate covered the error
 		mm := meanMotionRevDay(sh.AltitudeKm)
 		total := sh.Planes * sh.SatsPerPlane
 		for plane := 0; plane < sh.Planes; plane++ {
-			raan := 360.0 * float64(plane) / float64(sh.Planes)
+			raan := spread * float64(plane) / float64(sh.Planes)
 			for slot := 0; slot < sh.SatsPerPlane; slot++ {
 				ma := 360.0*float64(slot)/float64(sh.SatsPerPlane) +
 					360.0*float64(sh.PhasingF)*float64(plane)/float64(total)
@@ -200,7 +308,7 @@ func New(cfg Config) (*Constellation, error) {
 				}
 				all = append(all, &Satellite{
 					ID:         catalog,
-					Name:       fmt.Sprintf("STARLINK-%d", catalog-cfg.FirstCatalogNum+1000),
+					Name:       fmt.Sprintf("%s-%d", cfg.NamePrefix, catalog-cfg.FirstCatalogNum+1000),
 					Shell:      sh.Name,
 					TLE:        t,
 					Propagator: eph,

@@ -304,3 +304,119 @@ func TestWalkerPlaneGeometry(t *testing.T) {
 		}
 	}
 }
+
+func TestWalkerStarPlaneGeometry(t *testing.T) {
+	// Mirror of TestWalkerPlaneGeometry for the star pattern: without
+	// jitter, plane p's RAAN spans 180°/P spacing (ascending nodes on a
+	// half-circle) and inter-plane phasing still follows F.
+	c, err := New(Config{
+		Shells: []Shell{{Name: "ws", AltitudeKm: 780, InclinationDeg: 86.4, Planes: 8, SatsPerPlane: 5, PhasingF: 3,
+			Geometry: WalkerStar}},
+		Seed: 1,
+		// JitterDeg cannot be exactly zero (0 selects the default), so
+		// use a negligible value.
+		JitterDeg: 1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		sat := c.Sats[p*5]
+		wantRAAN := 180.0 * float64(p) / 8
+		if units.AngularDistDeg(sat.TLE.RAANDeg, wantRAAN) > 1e-6 {
+			t.Errorf("plane %d RAAN %v, want %v", p, sat.TLE.RAANDeg, wantRAAN)
+		}
+		wantMA := 360.0 * 3 * float64(p) / 40 // F*360/(P*S) per plane
+		if units.AngularDistDeg(sat.TLE.MeanAnomalyDeg, wantMA) > 1e-6 {
+			t.Errorf("plane %d first-slot MA %v, want %v", p, sat.TLE.MeanAnomalyDeg, wantMA)
+		}
+	}
+	for s := 1; s < 5; s++ {
+		d := units.AngularDistDeg(c.Sats[s].TLE.MeanAnomalyDeg, c.Sats[s-1].TLE.MeanAnomalyDeg)
+		if math.Abs(d-72) > 1e-6 {
+			t.Errorf("slot spacing %v, want 72", d)
+		}
+	}
+}
+
+func TestShellValidation(t *testing.T) {
+	base := Shell{Name: "v", AltitudeKm: 550, InclinationDeg: 53, Planes: 8, SatsPerPlane: 5, PhasingF: 3}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid shell rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Shell)
+		frag string
+	}{
+		{"phasing too large", func(s *Shell) { s.PhasingF = 8 }, "phasing F=8"},
+		{"phasing negative", func(s *Shell) { s.PhasingF = -1 }, "phasing F=-1"},
+		{"altitude too low", func(s *Shell) { s.AltitudeKm = 80 }, "non-physical altitude"},
+		{"altitude too high", func(s *Shell) { s.AltitudeKm = 60000 }, "non-physical altitude"},
+		{"inclination negative", func(s *Shell) { s.InclinationDeg = -5 }, "inclination"},
+		{"inclination beyond retrograde", func(s *Shell) { s.InclinationDeg = 190 }, "inclination"},
+		{"unknown geometry", func(s *Shell) { s.Geometry = "walker-spiral" }, "walker-spiral"},
+		{"no planes", func(s *Shell) { s.Planes = 0 }, "non-positive geometry"},
+	}
+	for _, tc := range cases {
+		sh := base
+		tc.mut(&sh)
+		err := sh.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.frag)
+		}
+		if _, err := New(Config{Shells: []Shell{sh}, Seed: 1}); err == nil {
+			t.Errorf("%s: New accepted the invalid shell", tc.name)
+		}
+	}
+	// One pass reports every problem, not just the first.
+	multi := Shell{Name: "m", AltitudeKm: 80, InclinationDeg: 200, Planes: 4, SatsPerPlane: 4, PhasingF: 9}
+	err := multi.Validate()
+	if err == nil {
+		t.Fatal("broken shell validated")
+	}
+	for _, frag := range []string{"phasing F=9", "non-physical altitude", "inclination 200"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("multi-error missing %q: %v", frag, err)
+		}
+	}
+}
+
+func TestBuiltinShellPresetsValid(t *testing.T) {
+	for _, set := range [][]Shell{StarlinkShells(), OneWebShells(), IridiumNextShells(), KeplerShells()} {
+		for _, sh := range set {
+			if err := sh.Validate(); err != nil {
+				t.Errorf("built-in shell %q invalid: %v", sh.Name, err)
+			}
+		}
+	}
+	if n := OneWebShells()[0].Planes * OneWebShells()[0].SatsPerPlane; n != 648 {
+		t.Errorf("OneWeb design has %d sats, want 648", n)
+	}
+	if n := IridiumNextShells()[0].Planes * IridiumNextShells()[0].SatsPerPlane; n != 66 {
+		t.Errorf("Iridium NEXT design has %d sats, want 66", n)
+	}
+	if n := KeplerShells()[0].Planes * KeplerShells()[0].SatsPerPlane; n != 140 {
+		t.Errorf("Kepler design has %d sats, want 140", n)
+	}
+}
+
+func TestNamePrefix(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NamePrefix = "ONEWEB"
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sats[0].Name; got != "ONEWEB-1000" {
+		t.Errorf("first satellite named %q, want ONEWEB-1000", got)
+	}
+	// Default stays on the Starlink catalog naming.
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sats[0].Name; got != "STARLINK-1000" {
+		t.Errorf("default first satellite named %q, want STARLINK-1000", got)
+	}
+}

@@ -225,3 +225,88 @@ func TestCapRadiusDeg(t *testing.T) {
 		t.Fatal("negative mask should be degenerate")
 	}
 }
+
+// TestIndexNonStarlinkShellAltitudes pins the grid sizing and the
+// index-vs-linear-scan equivalence at the Walker-star preset
+// altitudes (Kepler 600 km, Iridium NEXT 780 km, OneWeb 1200 km), so
+// the "provably same set, same order" property is exercised well
+// outside the 540–570 km band campaigns historically ran at.
+func TestIndexNonStarlinkShellAltitudes(t *testing.T) {
+	designs := []struct {
+		name   string
+		shells []Shell
+		altKm  float64
+	}{
+		{"kepler", KeplerShells(), 600},
+		{"iridium-next", IridiumNextShells(), 780},
+		{"oneweb", OneWebShells(), 1200},
+	}
+	var prevLam float64
+	for _, d := range designs {
+		// Footprint half-angle grows monotonically with altitude.
+		lam, ok := capRadiusDeg(units.EarthRadiusKm, units.EarthRadiusKm+d.altKm, indexMaskRefDeg)
+		if !ok {
+			t.Fatalf("%s: degenerate footprint at %v km", d.name, d.altKm)
+		}
+		if lam <= prevLam {
+			t.Fatalf("%s: footprint %v° not larger than lower shell's %v°", d.name, lam, prevLam)
+		}
+		prevLam = lam
+
+		c, err := New(Config{Shells: d.shells, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := c.Snapshot(c.Epoch.Add(45 * time.Minute))
+		if len(snap) != c.Len() {
+			t.Fatalf("%s: snapshot dropped satellites (%d of %d)", d.name, len(snap), c.Len())
+		}
+		ix := NewSnapshotIndex(snap)
+
+		// The grid's cell size must match the analytic footprint of the
+		// snapshot's highest radius, clamped exactly as Rebuild documents.
+		maxR := 0.0
+		for i := range snap {
+			if r := snap[i].ECEF.Norm(); r > maxR {
+				maxR = r
+			}
+		}
+		wantCell := 8.0
+		if lam, ok := capRadiusDeg(units.EarthRadiusKm, maxR, indexMaskRefDeg-indexMarginDeg); ok {
+			wantCell = units.Clamp(lam, 2, 30)
+		}
+		latN, lonN := ix.Cells()
+		if latN != int(math.Ceil(180/wantCell)) || lonN != int(math.Ceil(360/wantCell)) {
+			t.Fatalf("%s: grid %dx%d does not match analytic cell %.3f°", d.name, latN, lonN, wantCell)
+		}
+
+		// Equivalence: seeded-random observers plus the classic traps
+		// (poles, antimeridian), at masks below and above the reference.
+		rng := rand.New(rand.NewSource(int64(len(snap))))
+		observers := []astro.Geodetic{
+			{LatDeg: 90}, {LatDeg: -90},
+			{LatDeg: 0, LonDeg: 180}, {LatDeg: 51.2, LonDeg: 179.9},
+			{LatDeg: 41.661, LonDeg: -91.530, AltKm: 0.2},
+		}
+		for i := 0; i < 6; i++ {
+			observers = append(observers, astro.Geodetic{
+				LatDeg: rng.Float64()*180 - 90,
+				LonDeg: rng.Float64()*360 - 180,
+				AltKm:  rng.Float64() * 2,
+			})
+		}
+		for _, obs := range observers {
+			for _, mask := range []float64{5, 15, 25, 40} {
+				want := ObserveFrom(obs, snap, mask)
+				got := ix.ObserveFrom(obs, mask)
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s obs (%.2f, %.2f) mask %v: index %d sats vs linear %d — %s",
+						d.name, obs.LatDeg, obs.LonDeg, mask, len(got), len(want), firstDivergence(got, want))
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dishrpc"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 	"repro/internal/traceio"
 )
@@ -290,5 +291,74 @@ func TestCoordinatorAllWorkersDead(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run hung with every worker dead")
+	}
+}
+
+// TestCoordinatorScenarioSpec: the coordinator runs a non-Starlink
+// scenario — workers rebuild a Walker-star constellation and
+// grid-placed terminals from the spec carried in CampaignSpec, not
+// from the baked-in Starlink shells — and the distributed merge is
+// byte-identical to the serial scenario run.
+func TestCoordinatorScenarioSpec(t *testing.T) {
+	scn := &scenario.Spec{
+		Version: scenario.SpecVersion,
+		Name:    "coord-star",
+		Seed:    5,
+		Constellation: scenario.ConstellationSpec{
+			NamePrefix: "STAR",
+			Shells: []scenario.ShellSpec{
+				{Name: "cs", Geometry: "walker-star", AltitudeKm: 1200, InclinationDeg: 86.4,
+					Planes: 10, SatsPerPlane: 12, PhasingF: 1},
+			},
+		},
+		Terminals: scenario.TerminalsSpec{
+			Grids: []scenario.GridSpec{
+				{Prefix: "g", Region: scenario.RegionSpec{LatMinDeg: 35, LatMaxDeg: 48, LonMinDeg: -100, LonMaxDeg: -80},
+					Rows: 2, Cols: 2},
+			},
+		},
+		Scheduler: scenario.SchedulerSpec{DisableGroundStations: true},
+		Campaign:  scenario.CampaignSpec{Slots: 6, Oracle: true},
+	}
+	if err := scn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec := CampaignSpec{Scenario: scn, Seed: scn.Seed, Slots: scn.Campaign.Slots, Oracle: true}
+	golden := serialBytes(t, spec)
+	if len(golden) == 0 {
+		t.Fatal("empty golden scenario stream")
+	}
+	// The stream must really be the scenario's placement, and the
+	// builder must really produce the Walker-star fleet.
+	if !bytes.Contains(golden, []byte(`"g-0"`)) || !bytes.Contains(golden, []byte(`"g-3"`)) {
+		t.Fatal("scenario stream does not carry the grid-placed terminals")
+	}
+	built, err := scn.Build(scenario.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Env.Cons.Len() != 120 || built.Env.Cons.Sats[0].Name != "STAR-1000" {
+		t.Fatalf("scenario built %d sats, first %q; want 120 STAR-prefixed",
+			built.Env.Cons.Len(), built.Env.Cons.Sats[0].Name)
+	}
+
+	servers := []*dishrpc.Server{startWorker(t, 0), startWorker(t, 0)}
+	var out bytes.Buffer
+	c := &Coordinator{
+		Workers:    addrs(servers),
+		Spec:       spec,
+		Shards:     2,
+		JournalDir: t.TempDir(),
+		Out:        &out,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals != 4 {
+		t.Fatalf("workers saw %d terminals, want the 4 grid-placed ones", res.Terminals)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("distributed scenario stream differs from serial (%d vs %d bytes)", out.Len(), len(golden))
 	}
 }

@@ -33,16 +33,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/dishrpc"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // CampaignSpec is the campaign description the coordinator sends to
 // every worker. Workers rebuild the identical environment from it, so
 // the spec must pin everything determinism depends on.
 type CampaignSpec struct {
-	// Scale is the constellation density (experiments.Scale).
+	// Scale is the constellation density (experiments.Scale). Ignored
+	// when Scenario is set.
 	Scale string `json:"scale"`
 	Seed  int64  `json:"seed"`
 	Slots int    `json:"slots"`
+	// Scenario, when non-nil, carries a full declarative scenario —
+	// constellation design (including non-Starlink Walker-star
+	// geometry), terminal placement, scheduler config — and each
+	// worker rebuilds its environment from it instead of assuming the
+	// Starlink shells. The coordinator-level campaign shape (Slots,
+	// Oracle, ResetEvery, SnapshotWorkers) stays authoritative here:
+	// the merge loop and shard journals are keyed on it.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 	// Oracle labels slots with scheduler ground truth instead of running
 	// obstruction-map identification.
 	Oracle bool `json:"oracle"`
@@ -60,15 +70,27 @@ type CampaignSpec struct {
 type Builder func(CampaignSpec) (core.CampaignConfig, error)
 
 // BuildCampaign is the default Builder: a full experiments environment
-// from (scale, seed), exactly what cmd/repro runs single-process.
+// from the scenario spec when one is attached, else from (scale,
+// seed) — exactly what cmd/repro runs single-process.
 func BuildCampaign(spec CampaignSpec) (core.CampaignConfig, error) {
-	env, err := experiments.NewEnv(experiments.Config{
-		Scale:           experiments.Scale(spec.Scale),
-		Seed:            spec.Seed,
-		SnapshotWorkers: spec.SnapshotWorkers,
-	})
-	if err != nil {
-		return core.CampaignConfig{}, err
+	var env *experiments.Env
+	var err error
+	if spec.Scenario != nil {
+		var built *scenario.Built
+		built, err = spec.Scenario.Build(scenario.BuildOptions{SnapshotWorkers: spec.SnapshotWorkers})
+		if err != nil {
+			return core.CampaignConfig{}, err
+		}
+		env = built.Env
+	} else {
+		env, err = experiments.NewEnv(experiments.Config{
+			Scale:           experiments.Scale(spec.Scale),
+			Seed:            spec.Seed,
+			SnapshotWorkers: spec.SnapshotWorkers,
+		})
+		if err != nil {
+			return core.CampaignConfig{}, err
+		}
 	}
 	return core.CampaignConfig{
 		Scheduler:       env.Sched,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/astro"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -59,19 +60,50 @@ func shellsFor(s Scale) ([]constellation.Shell, error) {
 	}
 }
 
+// ShellsFor exposes the scale→shell-design mapping to spec-driven
+// callers (internal/scenario lowers constellation presets through it).
+func ShellsFor(s Scale) ([]constellation.Shell, error) { return shellsFor(s) }
+
 // Config assembles an environment.
 type Config struct {
 	Scale Scale
 	Seed  int64
+	// Shells overrides Scale with an explicit constellation design
+	// (the scenario engine's non-Starlink geometries). Scale is
+	// ignored when set.
+	Shells []constellation.Shell
+	// NamePrefix names synthetic satellites "<prefix>-<n>"; empty
+	// keeps the STARLINK catalog naming.
+	NamePrefix string
+	// Epoch overrides the constellation TLE epoch (zero keeps the
+	// 2023-03-01 study epoch).
+	Epoch time.Time
+	// JitterDeg overrides the constellation's orbital-element jitter
+	// sigma (0 keeps the 0.15° default).
+	JitterDeg float64
 	// UseKeplerJ2 swaps the ablation propagator into the constellation.
 	UseKeplerJ2 bool
 	// Weights overrides the scheduler's preferences (ablations); zero
 	// value uses the defaults.
 	Weights scheduler.Weights
+	// MinElevationDeg overrides the terminal hardware mask for both
+	// the scheduler and the identifier's available sets (0 keeps the
+	// study's 25°).
+	MinElevationDeg float64
 	// GSOProtectionDeg < 0 disables the exclusion zone (ablation).
 	GSOProtectionDeg float64
+	// GroundStations overrides the gateway sites for the bent-pipe
+	// constraint; nil keeps the study PoPs' co-located gateways.
+	GroundStations []astro.Geodetic
+	// DisableGroundStations removes the bent-pipe constraint entirely
+	// (lowered to scheduler.Config's explicit empty slice).
+	DisableGroundStations bool
+	// GSMinElevationDeg is the gateway visibility mask (0 keeps 25°).
+	GSMinElevationDeg float64
+	// DisableBattery removes the satellite energy model (ablation).
+	DisableBattery bool
 	// VantagePoints overrides the study's four sites (e.g. the §8
-	// southern-hemisphere generalization).
+	// southern-hemisphere generalization, or scenario placements).
 	VantagePoints []geo.VantagePoint
 	// Workers bounds the campaign worker pool (see
 	// core.CampaignConfig.Workers). 0 uses all CPUs; 1 forces the
@@ -141,14 +173,20 @@ func (e *Env) ctx() context.Context {
 // NewEnv builds the constellation, terminals, scheduler, and
 // identifier.
 func NewEnv(cfg Config) (*Env, error) {
-	shells, err := shellsFor(cfg.Scale)
-	if err != nil {
-		return nil, err
+	shells := cfg.Shells
+	if len(shells) == 0 {
+		var err error
+		if shells, err = shellsFor(cfg.Scale); err != nil {
+			return nil, err
+		}
 	}
 	cons, err := constellation.New(constellation.Config{
 		Shells:      shells,
 		Seed:        cfg.Seed,
 		UseKeplerJ2: cfg.UseKeplerJ2,
+		NamePrefix:  cfg.NamePrefix,
+		Epoch:       cfg.Epoch,
+		JitterDeg:   cfg.JitterDeg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build constellation: %w", err)
@@ -161,17 +199,25 @@ func NewEnv(cfg Config) (*Env, error) {
 	for _, vp := range vps {
 		terms = append(terms, scheduler.Terminal{VantagePoint: vp, Priority: 1})
 	}
+	gs := cfg.GroundStations
+	if cfg.DisableGroundStations {
+		gs = []astro.Geodetic{} // non-nil empty = constraint off
+	}
 	snaps := constellation.NewSnapshotCache(0, cfg.Telemetry)
 	snaps.SetSnapshotWorkers(cfg.SnapshotWorkers)
 	sched, err := scheduler.NewGlobal(scheduler.Config{
-		Constellation:    cons,
-		Terminals:        terms,
-		Weights:          cfg.Weights,
-		GSOProtectionDeg: cfg.GSOProtectionDeg,
-		Seed:             cfg.Seed,
-		Telemetry:        cfg.Telemetry,
-		Snapshots:        snaps,
-		DisableIndex:     cfg.DisableIndex,
+		Constellation:     cons,
+		Terminals:         terms,
+		Weights:           cfg.Weights,
+		MinElevationDeg:   cfg.MinElevationDeg,
+		GSOProtectionDeg:  cfg.GSOProtectionDeg,
+		GroundStations:    gs,
+		GSMinElevationDeg: cfg.GSMinElevationDeg,
+		DisableBattery:    cfg.DisableBattery,
+		Seed:              cfg.Seed,
+		Telemetry:         cfg.Telemetry,
+		Snapshots:         snaps,
+		DisableIndex:      cfg.DisableIndex,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build scheduler: %w", err)
@@ -179,6 +225,9 @@ func NewEnv(cfg Config) (*Env, error) {
 	ident, err := core.NewIdentifier(cons)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.MinElevationDeg != 0 {
+		ident.MinElevationDeg = cfg.MinElevationDeg
 	}
 	e := &Env{Cons: cons, Sched: sched, Ident: ident, Terminals: terms, Seed: cfg.Seed,
 		Workers: cfg.Workers, Telemetry: cfg.Telemetry,

@@ -1,0 +1,135 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/astro"
+)
+
+// Declarative terminal placement for the scenario engine: instead of
+// the study's four hand-picked vantage points, campaigns can place
+// terminals on a lat/lon grid or scatter them uniformly (by area)
+// within a region. Both generators are pure functions of their
+// parameters — the same spec always yields the same terminals.
+
+// Region is a lat/lon bounding box. Longitudes are taken on the
+// [-180, 180] branch; a box spanning the antimeridian is expressed
+// with LonMinDeg > LonMaxDeg (e.g. 170 → -170).
+type Region struct {
+	LatMinDeg float64
+	LatMaxDeg float64
+	LonMinDeg float64
+	LonMaxDeg float64
+}
+
+// Validate reports the first problem with the region's bounds.
+func (r Region) Validate() error {
+	if r.LatMinDeg < -90 || r.LatMaxDeg > 90 || r.LatMinDeg > r.LatMaxDeg {
+		return fmt.Errorf("latitude range %.2f..%.2f invalid (want -90 <= min <= max <= 90)", r.LatMinDeg, r.LatMaxDeg)
+	}
+	if r.LonMinDeg < -180 || r.LonMinDeg > 180 || r.LonMaxDeg < -180 || r.LonMaxDeg > 180 {
+		return fmt.Errorf("longitude range %.2f..%.2f outside -180..180", r.LonMinDeg, r.LonMaxDeg)
+	}
+	return nil
+}
+
+// lonSpan returns the eastward extent of the region in degrees,
+// handling antimeridian-crossing boxes (LonMin > LonMax).
+func (r Region) lonSpan() float64 {
+	span := r.LonMaxDeg - r.LonMinDeg
+	if span < 0 {
+		span += 360
+	}
+	return span
+}
+
+// lonAt maps a fraction of the region's eastward extent to a
+// wrapped longitude in [-180, 180).
+func (r Region) lonAt(frac float64) float64 {
+	lon := r.LonMinDeg + frac*r.lonSpan()
+	if lon >= 180 {
+		lon -= 360
+	}
+	return lon
+}
+
+// UTCOffsetForLon approximates a site's standard-time UTC offset from
+// its longitude: one hour per 15° band, rounded to the nearest band.
+// Good enough for the local-hour feature at generated sites where no
+// civil timezone is specified.
+func UTCOffsetForLon(lonDeg float64) int {
+	off := int(math.Round(lonDeg / 15))
+	if off > 12 {
+		off = 12
+	}
+	if off < -12 {
+		off = -12
+	}
+	return off
+}
+
+// Grid places rows x cols terminals evenly over the region, row-major
+// from the southwest corner, named "<prefix>-<i>". A single row or
+// column sits at the region's midline.
+func Grid(prefix string, r Region, rows, cols int, altKm float64) ([]VantagePoint, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("grid %q: %w", prefix, err)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid %q: non-positive shape %dx%d", prefix, rows, cols)
+	}
+	axis := func(min, span float64, i, n int) float64 {
+		if n == 1 {
+			return min + span/2
+		}
+		return min + span*float64(i)/float64(n-1)
+	}
+	out := make([]VantagePoint, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		lat := axis(r.LatMinDeg, r.LatMaxDeg-r.LatMinDeg, i, rows)
+		for j := 0; j < cols; j++ {
+			var lonFrac float64
+			if cols == 1 {
+				lonFrac = 0.5
+			} else {
+				lonFrac = float64(j) / float64(cols-1)
+			}
+			lon := r.lonAt(lonFrac)
+			out = append(out, VantagePoint{
+				Name:           fmt.Sprintf("%s-%d", prefix, len(out)),
+				Location:       astro.Geodetic{LatDeg: lat, LonDeg: lon, AltKm: altKm},
+				UTCOffsetHours: UTCOffsetForLon(lon),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RandomInRegion scatters count terminals uniformly by surface area
+// within the region (latitude drawn through its sine so high latitudes
+// are not oversampled), named "<prefix>-<i>". The seed fully
+// determines the placement.
+func RandomInRegion(prefix string, r Region, count int, altKm float64, seed int64) ([]VantagePoint, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("random %q: %w", prefix, err)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("random %q: non-positive count %d", prefix, count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sinMin := math.Sin(r.LatMinDeg * math.Pi / 180)
+	sinMax := math.Sin(r.LatMaxDeg * math.Pi / 180)
+	out := make([]VantagePoint, 0, count)
+	for i := 0; i < count; i++ {
+		lat := math.Asin(sinMin+rng.Float64()*(sinMax-sinMin)) * 180 / math.Pi
+		lon := r.lonAt(rng.Float64())
+		out = append(out, VantagePoint{
+			Name:           fmt.Sprintf("%s-%d", prefix, i),
+			Location:       astro.Geodetic{LatDeg: lat, LonDeg: lon, AltKm: altKm},
+			UTCOffsetHours: UTCOffsetForLon(lon),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridPlacement(t *testing.T) {
+	r := Region{LatMinDeg: 35, LatMaxDeg: 45, LonMinDeg: -100, LonMaxDeg: -80}
+	vps, err := Grid("g", r, 3, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vps) != 6 {
+		t.Fatalf("got %d points, want 6", len(vps))
+	}
+	// Row-major from the southwest corner.
+	if vps[0].Name != "g-0" || vps[0].Location.LatDeg != 35 || vps[0].Location.LonDeg != -100 {
+		t.Fatalf("corner point wrong: %+v", vps[0])
+	}
+	last := vps[5]
+	if last.Location.LatDeg != 45 || last.Location.LonDeg != -80 {
+		t.Fatalf("far corner wrong: %+v", last)
+	}
+	for _, vp := range vps {
+		if vp.Location.AltKm != 0.1 {
+			t.Fatalf("altitude not applied: %+v", vp)
+		}
+		if vp.UTCOffsetHours != UTCOffsetForLon(vp.Location.LonDeg) {
+			t.Fatalf("utc offset wrong: %+v", vp)
+		}
+	}
+}
+
+func TestGridSingleRowColMidline(t *testing.T) {
+	r := Region{LatMinDeg: 10, LatMaxDeg: 20, LonMinDeg: 40, LonMaxDeg: 60}
+	vps, err := Grid("m", r, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vps[0].Location.LatDeg != 15 || vps[0].Location.LonDeg != 50 {
+		t.Fatalf("midline wrong: %+v", vps[0])
+	}
+}
+
+func TestGridAntimeridian(t *testing.T) {
+	r := Region{LatMinDeg: -10, LatMaxDeg: 10, LonMinDeg: 170, LonMaxDeg: -170}
+	vps, err := Grid("am", r, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{170, -180, -170}
+	for i, vp := range vps {
+		if math.Abs(vp.Location.LonDeg-want[i]) > 1e-9 {
+			t.Fatalf("point %d lon %.3f, want %.3f", i, vp.Location.LonDeg, want[i])
+		}
+	}
+}
+
+func TestRandomInRegionDeterministic(t *testing.T) {
+	r := Region{LatMinDeg: -55, LatMaxDeg: 60, LonMinDeg: -120, LonMaxDeg: 30}
+	a, err := RandomInRegion("r", r, 25, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomInRegion("r", r, 25, 0.05, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, _ := RandomInRegion("r", r, 25, 0.05, 43)
+	same := true
+	for i := range a {
+		if a[i].Location != c[i].Location {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical placements")
+	}
+	for i, vp := range a {
+		loc := vp.Location
+		if loc.LatDeg < r.LatMinDeg || loc.LatDeg > r.LatMaxDeg {
+			t.Fatalf("point %d latitude %.2f outside region", i, loc.LatDeg)
+		}
+		if loc.LonDeg < r.LonMinDeg || loc.LonDeg > r.LonMaxDeg {
+			t.Fatalf("point %d longitude %.2f outside region", i, loc.LonDeg)
+		}
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	bad := []Region{
+		{LatMinDeg: -95, LatMaxDeg: 0, LonMinDeg: 0, LonMaxDeg: 10},
+		{LatMinDeg: 10, LatMaxDeg: 0, LonMinDeg: 0, LonMaxDeg: 10},
+		{LatMinDeg: 0, LatMaxDeg: 10, LonMinDeg: -181, LonMaxDeg: 10},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Fatalf("region %d should not validate: %+v", i, r)
+		}
+	}
+}
+
+func TestUTCOffsetForLon(t *testing.T) {
+	cases := []struct {
+		lon  float64
+		want int
+	}{{0, 0}, {-91.5, -6}, {151.2, 10}, {179.9, 12}, {-179.9, -12}, {7.4, 0}, {7.6, 1}}
+	for _, c := range cases {
+		if got := UTCOffsetForLon(c.lon); got != c.want {
+			t.Fatalf("UTCOffsetForLon(%.1f) = %d, want %d", c.lon, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package scenario_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/traceio"
+)
+
+// TestValidateAllPresets backs the CI guarantee: every checked-in
+// preset parses strictly, validates, and is named after its file.
+func TestValidateAllPresets(t *testing.T) {
+	if err := scenario.ValidateAll(); err != nil {
+		t.Fatal(err)
+	}
+	names := scenario.PresetNames()
+	want := []string{"iridium-next", "kepler", "oneweb-star", "smoke", "starlink-baseline"}
+	if len(names) != len(want) {
+		t.Fatalf("presets %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("presets %v, want %v", names, want)
+		}
+	}
+}
+
+func TestStrictDecodingRejectsUnknownFields(t *testing.T) {
+	_, err := scenario.Parse(strings.NewReader(`{
+		"version": 1, "name": "x", "seed": 1,
+		"constellation": {"preset": "kepler", "planess": 3},
+		"terminals": {"preset": "study"},
+		"scheduler": {},
+		"campaign": {"slots": 10, "oracle": true}
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "planess") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	_, err := scenario.Parse(strings.NewReader(`{
+		"version": 1, "name": "x", "seed": 1,
+		"constellation": {"preset": "kepler"},
+		"terminals": {"preset": "study"},
+		"scheduler": {},
+		"campaign": {"slots": 10, "oracle": true}
+	} {"more": true}`))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing data not rejected: %v", err)
+	}
+}
+
+// TestValidateReportsEveryError is the multi-error contract: one
+// validation round surfaces every problem, not just the first.
+func TestValidateReportsEveryError(t *testing.T) {
+	s := &scenario.Spec{
+		Version: 3,
+		Name:    "bad spec",
+		Constellation: scenario.ConstellationSpec{
+			Shells: []scenario.ShellSpec{
+				{Name: "s", Geometry: "walker-spiral", AltitudeKm: 80, InclinationDeg: 200, Planes: 4, SatsPerPlane: 4, PhasingF: 9},
+			},
+			Epoch: "yesterday",
+		},
+		Terminals: scenario.TerminalsSpec{
+			Sites: []scenario.SiteSpec{
+				{Name: "a", LatDeg: 95, LonDeg: 0},
+				{Name: "a", LatDeg: 10, LonDeg: 10, PoP: "atlantis"},
+			},
+		},
+		Scheduler: scenario.SchedulerSpec{
+			Weights:         &scenario.WeightsSpec{},
+			MinElevationDeg: 95,
+		},
+		Campaign: scenario.CampaignSpec{Slots: 0, Workers: -1},
+		Outputs:  scenario.OutputsSpec{Analyses: []string{"vibes"}},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid spec validated")
+	}
+	msg := err.Error()
+	for _, frag := range []string{
+		"version 3",
+		"contains whitespace",
+		"walker-spiral",
+		"non-physical altitude",
+		"inclination 200.00",
+		"phasing F=9",
+		"epoch",
+		"outside lat/lon range",
+		"unknown pop \"atlantis\"",
+		"duplicate terminal name \"a\"",
+		"all zero",
+		"min_elevation_deg 95.0",
+		"slots 0",
+		"workers -1",
+		"unknown analysis \"vibes\"",
+	} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("validation error missing %q:\n%s", frag, msg)
+		}
+	}
+}
+
+func TestResolveFileAndPreset(t *testing.T) {
+	byName, err := scenario.Resolve("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Name != "smoke" {
+		t.Fatalf("preset resolve got %q", byName.Name)
+	}
+	// A real file wins over the embedded preset namespace.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mine.json")
+	b, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	byPath, err := scenario.Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byPath.Name != "smoke" {
+		t.Fatalf("file resolve got %q", byPath.Name)
+	}
+	if _, err := scenario.Resolve("no-such-preset"); err == nil {
+		t.Fatal("unknown preset resolved")
+	}
+}
+
+// streamBytes runs a campaign config and returns its traceio JSONL
+// encoding — the byte-identity currency of every golden test.
+func streamBytes(t *testing.T, cfg core.CampaignConfig) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := traceio.NewRecordEncoder(&buf)
+	if _, err := core.RunCampaignStream(context.Background(), cfg, func(rec core.SlotRecord) error {
+		return enc.Encode(&rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStarlinkBaselineBitIdentical proves the scenario path subsumes
+// the existing Starlink path: the starlink-baseline preset's campaign
+// stream is byte-identical to the default experiments environment's.
+func TestStarlinkBaselineBitIdentical(t *testing.T) {
+	spec, err := scenario.LoadPreset("starlink-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 12 // full preset runs 500; identity holds per-slot
+	spec.Campaign.Slots = slots
+	built, err := spec.Build(scenario.BuildOptions{Workers: 1, SnapshotWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromScenario := streamBytes(t, built.CampaignConfig())
+
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Medium, Seed: 7, Workers: 1, SnapshotWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDefault := streamBytes(t, env.CampaignSource(slots, true).Config)
+
+	if built.Env.Cons.Fingerprint() != env.Cons.Fingerprint() {
+		t.Fatal("scenario constellation fingerprint differs from the default environment's")
+	}
+	if !bytes.Equal(fromScenario, fromDefault) {
+		t.Fatalf("starlink-baseline stream differs from the default campaign:\nscenario %d bytes, default %d bytes", len(fromScenario), len(fromDefault))
+	}
+	if len(fromScenario) == 0 {
+		t.Fatal("empty golden stream")
+	}
+}
+
+// TestWalkerStarPresetBuilds exercises a non-Starlink build end to
+// end: OneWeb geometry, renamed satellites, distinct fingerprint.
+func TestWalkerStarPresetBuilds(t *testing.T) {
+	spec, err := scenario.LoadPreset("oneweb-star")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Campaign.Slots = 2
+	built, err := spec.Build(scenario.BuildOptions{Workers: 1, SnapshotWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := built.Env.Cons
+	if cons.Len() != 18*36 {
+		t.Fatalf("OneWeb constellation has %d sats, want 648", cons.Len())
+	}
+	if !strings.HasPrefix(cons.Sats[0].Name, "ONEWEB-") {
+		t.Fatalf("satellite name %q, want ONEWEB- prefix", cons.Sats[0].Name)
+	}
+	env, err := experiments.NewEnv(experiments.Config{Scale: experiments.Medium, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Fingerprint() == env.Cons.Fingerprint() {
+		t.Fatal("OneWeb fingerprint collides with Starlink medium")
+	}
+	if got := streamBytes(t, built.CampaignConfig()); len(got) == 0 {
+		t.Fatal("empty OneWeb campaign stream")
+	}
+}
+
+// TestScenarioTerminalPlacement checks the smoke preset lowers all
+// three placement kinds in deterministic order.
+func TestScenarioTerminalPlacement(t *testing.T) {
+	spec, err := scenario.LoadPreset("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vps, err := spec.VantagePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ithaca", "grid-0", "grid-1", "rnd-0"}
+	if len(vps) != len(want) {
+		t.Fatalf("placed %d terminals, want %d", len(vps), len(want))
+	}
+	for i, vp := range vps {
+		if vp.Name != want[i] {
+			t.Fatalf("terminal %d named %q, want %q", i, vp.Name, want[i])
+		}
+	}
+	if vps[0].Mask == nil {
+		t.Fatal("site mask not lowered")
+	}
+	again, err := spec.VantagePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vps {
+		if vps[i].Location != again[i].Location {
+			t.Fatalf("placement not deterministic at %d", i)
+		}
+	}
+}

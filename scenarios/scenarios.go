@@ -1,0 +1,14 @@
+// Package scenarios embeds the named scenario presets shipped with
+// the repository, so `repro -scenario oneweb-star` works from any
+// working directory and a test can validate every checked-in preset.
+// The package deliberately imports nothing from the repo: it sits at
+// the root so internal/scenario (and anything above it) can embed the
+// JSON without an import cycle.
+package scenarios
+
+import "embed"
+
+// FS holds every checked-in preset (scenarios/*.json).
+//
+//go:embed *.json
+var FS embed.FS
