@@ -1,0 +1,126 @@
+// Command predictd serves online allocation inference over the
+// dishrpc framed protocol: campaign workers stream revealed slots in
+// (`observe`), query the warm forest ahead of each reveal (`predict`,
+// `topk`), and read model lineage and windowed accuracy back
+// (`model_info`, `stats`). The model refits in the background on a
+// sliding window of recent slots and swaps in atomically, so serving
+// never stalls; when windowed accuracy degrades against the longer
+// reference horizon — a scheduler update in production terms — the
+// drift flag rises in telemetry and a refit is forced.
+//
+// Usage:
+//
+//	predictd [flags]
+//
+// Flags:
+//
+//	-listen addr           dishrpc endpoint (default 127.0.0.1:9123)
+//	-telemetry-addr addr   serve /metrics, /debug/vars, /debug/pprof
+//	-model file            warm-start from a forest saved by `repro fig8 -save-model`
+//	-window n              sliding-window capacity in slots (default 2048)
+//	-refit-every n         refit cadence in scored slots (default 256)
+//	-min-fit n             window fill required before the first fit (default refit-every)
+//	-trees n, -depth n     refit forest shape (default 30, 10)
+//	-seed n                base training seed (refit i uses seed+i)
+//	-workers n             training pool per refit (0 = GOMAXPROCS)
+//	-topk k                windowed accuracy horizon (default 5)
+//	-acc-window n          short accuracy horizon in slots (default 64)
+//	-ref-window n          reference accuracy horizon in slots (default 256)
+//	-drift-drop f          accuracy gap that raises the drift flag (default 0.15)
+//	-sync                  refit inline instead of in the background (deterministic)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/predict"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:9123", "dishrpc listen address")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		modelPath     = flag.String("model", "", "warm-start forest (JSON written by repro fig8 -save-model)")
+		window        = flag.Int("window", 0, "sliding-window capacity in slots (0 = 2048)")
+		refitEvery    = flag.Int("refit-every", 0, "refit after this many scored slots (0 = 256)")
+		minFit        = flag.Int("min-fit", 0, "window fill required before the first fit (0 = refit-every)")
+		trees         = flag.Int("trees", 0, "trees per refit forest (0 = 30)")
+		depth         = flag.Int("depth", 0, "max tree depth (0 = 10)")
+		seed          = flag.Int64("seed", 1, "base training seed")
+		workers       = flag.Int("workers", 0, "training workers per refit (0 = GOMAXPROCS)")
+		topK          = flag.Int("topk", 0, "windowed accuracy horizon k (0 = 5)")
+		accWindow     = flag.Int("acc-window", 0, "short accuracy horizon in slots (0 = 64)")
+		refWindow     = flag.Int("ref-window", 0, "reference accuracy horizon in slots (0 = 256)")
+		driftDrop     = flag.Float64("drift-drop", 0, "accuracy gap that raises the drift flag (0 = 0.15)")
+		sync          = flag.Bool("sync", false, "refit inline on the observe path instead of in the background")
+	)
+	flag.Parse()
+	if err := run(*listen, *telemetryAddr, *modelPath, predict.Config{
+		Window: *window, RefitEvery: *refitEvery, MinFit: *minFit,
+		Trees: *trees, MaxDepth: *depth, Seed: *seed, Workers: *workers,
+		TopK: *topK, AccWindow: *accWindow, RefWindow: *refWindow,
+		DriftDrop: *driftDrop, Synchronous: *sync,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, telemetryAddr, modelPath string, cfg predict.Config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	cfg.Registry = reg
+	svc, err := predict.NewService(cfg)
+	if err != nil {
+		return err
+	}
+
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		// The shape gate rejects a forest trained against a different
+		// feature schema here, at startup, instead of per-request.
+		forest, err := ml.LoadForestFor(f, features.VectorLen, features.NumClusters)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := svc.SetModel(forest); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "predictd: warm-started from %s (%d trees)\n", modelPath, forest.NumTrees())
+	}
+
+	if telemetryAddr != "" {
+		srv, err := telemetry.StartServer(ctx, telemetryAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "predictd: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+
+	srv, err := predict.NewServer(listen, svc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "predictd: serving dishrpc on %s\n", srv.Addr())
+	if err := srv.Serve(ctx); err != nil && err != context.Canceled {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "predictd: shutdown: observed=%d scored=%d refits=%d drift_events=%d recent_top1=%.3f\n",
+		st.Observed, st.Scored, st.Refits, st.DriftEvents, st.RecentTop1)
+	return nil
+}

@@ -8,7 +8,7 @@
 //	repro -scenario <file-or-preset> [dist]
 //	repro -list-scenarios
 //
-// Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 stream all
+// Experiments: fig2 stats fig3 ident fig4 fig5 fig6 fig7 fig8 stream drift all
 //
 // Flags:
 //
@@ -24,6 +24,7 @@
 //	-telemetry-addr addr        serve /metrics, /debug/vars, /debug/pprof on addr
 //	-trace-decisions n          keep the last n campaign decisions in a ring
 //	-trace-out file             dump the decision ring as JSONL on exit
+//	-predict-addr addr          drift: stream slots to a running predictd instead of an in-process model
 //	-v                          print the telemetry counter summary on exit
 package main
 
@@ -48,6 +49,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obstruction"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 	"repro/internal/scenario"
 	"repro/internal/skyplot"
 	"repro/internal/telemetry"
@@ -76,6 +78,7 @@ type options struct {
 	verbose       bool
 	noIndex       bool
 	workerListen  string
+	predictAddr   string
 	recordDelay   time.Duration
 	coordWorkers  string
 	coordShards   int
@@ -104,6 +107,7 @@ func main() {
 	flag.BoolVar(&opt.verbose, "v", false, "print the telemetry counter summary on exit")
 	flag.BoolVar(&opt.noIndex, "no-index", false, "disable the spatial visibility index (ablation; identical results, linear scans)")
 	flag.StringVar(&opt.workerListen, "worker-listen", "", "run as a campaign worker serving shards on this address (no experiment argument)")
+	flag.StringVar(&opt.predictAddr, "predict-addr", "", "drift: stream slots to a running predictd at this address instead of an in-process model")
 	flag.DurationVar(&opt.recordDelay, "record-delay", 0, "worker mode: throttle record production (fault-injection hook)")
 	flag.StringVar(&opt.coordWorkers, "coord-workers", "", "dist: comma-separated worker addresses; empty runs the single-process golden")
 	flag.IntVar(&opt.coordShards, "coord-shards", 0, "dist: terminal shards (0 = one per worker)")
@@ -136,7 +140,7 @@ func main() {
 		what = flag.Arg(0)
 	case flag.NArg() == 0 && opt.scenario != "":
 	default:
-		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|ext|dist|all")
+		fmt.Fprintln(os.Stderr, "usage: repro [flags] fig2|stats|fig3|ident|fig4|fig5|fig6|fig7|fig8|stream|drift|ext|dist|all")
 		fmt.Fprintln(os.Stderr, "       repro -scenario <file-or-preset> [dist]")
 		os.Exit(2)
 	}
@@ -452,6 +456,8 @@ func run(ctx context.Context, what string, opt options) error {
 			}
 		case "stream":
 			err = runStream(env, slots)
+		case "drift":
+			err = runDriftExperiment(opt, reg)
 		case "ext":
 			err = runExtensions(env, slots)
 		default:
@@ -983,6 +989,71 @@ func runStream(env *experiments.Env, slots int) error {
 	printLaunch(res.Launch)
 	fmt.Println()
 	printSunlit(res.Sunlit)
+	return nil
+}
+
+// runDriftExperiment runs the online-inference drift campaign: learn
+// the default scheduler, flip the weights at mid-campaign, and report
+// detection and recovery. With -predict-addr the slot stream feeds a
+// running predictd over dishrpc; otherwise a synchronous in-process
+// service keeps the output deterministic.
+func runDriftExperiment(opt options, reg *telemetry.Registry) error {
+	var scorer pipeline.OnlineScorer
+	if opt.predictAddr != "" {
+		c, err := predict.Dial(opt.predictAddr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		fmt.Printf("online inference served by predictd at %s\n", opt.predictAddr)
+		scorer = predict.NewRemoteScorer(c)
+	} else {
+		svc, err := predict.NewService(predict.Config{
+			Window: 512, RefitEvery: 128, MinFit: 256,
+			Trees: 20, MaxDepth: 10,
+			Seed: opt.seed, Workers: opt.workers,
+			Synchronous: true, Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		scorer = svc
+	}
+	res, err := scenario.RunDrift(scenario.DriftConfig{
+		Scale:           experiments.Scale(opt.scale),
+		Seed:            opt.seed,
+		Slots:           opt.slots,
+		Scorer:          scorer,
+		Offline:         opt.predictAddr == "", // remote runs skip the batch cross-check
+		Workers:         opt.workers,
+		SnapshotWorkers: opt.snapWorkers,
+		Telemetry:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("online inference under a mid-campaign scheduler update: weights flip at slot %d of %d\n",
+		res.FlipAt, res.Slots)
+	fmt.Printf("stationary:  windowed top-1 %.1f%%  top-5 %.1f%%  (%d refits, %d records scored)\n",
+		res.PreTop1*100, res.PreTopK*100, res.Refits, res.Scored)
+	fmt.Printf("after flip:  windowed top-1 floor %.1f%%\n", res.MinPostTop1*100)
+	detect := "FAIL"
+	if res.DetectSlots >= 0 {
+		detect = fmt.Sprintf("detected %d slots after the flip", res.DetectSlots)
+	}
+	clear := "never cleared [FAIL]"
+	if res.ClearSlots >= 0 {
+		clear = fmt.Sprintf("cleared at slot %d after retraining", res.ClearSlots)
+	}
+	fmt.Printf("drift flag:  %s, %s (%d events)\n", detect, clear, res.DriftEvents)
+	fmt.Printf("recovery:    windowed top-1 %.1f%% at campaign end\n", res.FinalTop1*100)
+	if res.OfflineTop1 > 0 {
+		fmt.Printf("offline §6 cross-check on the stationary phase: model top-1 %.1f%% vs baseline %.1f%%\n",
+			res.OfflineTop1*100, res.OfflineBaselineTop1*100)
+	}
+	ok := res.DetectSlots >= 0 && res.ClearSlots >= 0 &&
+		res.PreTop1-res.MinPostTop1 > 0.1 && res.FinalTop1 > res.MinPostTop1
+	fmt.Printf("drift experiment: %s\n", passFail(ok))
 	return nil
 }
 

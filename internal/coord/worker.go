@@ -201,7 +201,7 @@ func (w *Worker) Handle(method string, params json.RawMessage) (any, error) {
 		}
 		return w.fetch(p), nil
 	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+		return nil, dishrpc.UnknownMethod(method)
 	}
 }
 

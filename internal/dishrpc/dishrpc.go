@@ -46,6 +46,27 @@ var ErrProtocol = errors.New("dishrpc: protocol error")
 // this error until Redial establishes a fresh connection.
 var ErrPoisoned = errors.New("dishrpc: connection poisoned; reconnect required")
 
+// ErrUnknownMethod reports a call the server's method table does not
+// register. It is typed end to end: a handler that wraps it (e.g. with
+// UnknownMethod) has the sentinel carried across the wire as a
+// structured error kind, so clients can tell protocol skew — an old
+// predictd that lacks a call — from a transport failure, which
+// surfaces as ErrPoisoned instead. An unknown method does NOT poison
+// the connection: the reply frame is well formed and the stream stays
+// in sync.
+var ErrUnknownMethod = errors.New("dishrpc: unknown method")
+
+// UnknownMethod builds the canonical unknown-method error for a
+// handler's default case. errors.Is(err, ErrUnknownMethod) holds on
+// both sides of the wire.
+func UnknownMethod(method string) error {
+	return fmt.Errorf("%w %q", ErrUnknownMethod, method)
+}
+
+// errorKindUnknownMethod is the wire tag that survives the string
+// flattening of server-side errors.
+const errorKindUnknownMethod = "unknown_method"
+
 type request struct {
 	ID     uint64          `json:"id"`
 	Method string          `json:"method"`
@@ -56,6 +77,10 @@ type response struct {
 	ID     uint64          `json:"id"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// ErrorKind carries a machine-readable error class alongside the
+	// flattened message, so typed sentinels survive the wire. Old
+	// clients ignore the field; old servers never set it.
+	ErrorKind string `json:"error_kind,omitempty"`
 }
 
 // DishStatus mirrors the subset of dish telemetry the methodology
@@ -287,6 +312,9 @@ func (s *Server) handle(conn net.Conn) {
 		result, err := s.handler(req.Method, req.Params)
 		if err != nil {
 			resp.Error = err.Error()
+			if errors.Is(err, ErrUnknownMethod) {
+				resp.ErrorKind = errorKindUnknownMethod
+			}
 		} else if result != nil {
 			body, err := json.Marshal(result)
 			if err != nil {
@@ -319,7 +347,7 @@ func (d *Dish) dispatch(method string, _ json.RawMessage) (any, error) {
 		d.Reset()
 		return "ok", nil
 	default:
-		return nil, fmt.Errorf("unknown method %q", method)
+		return nil, UnknownMethod(method)
 	}
 }
 
@@ -429,6 +457,11 @@ func (c *Client) Call(method string, params, out any) error {
 		return c.poison(fmt.Errorf("%w: response id %d for request %d", ErrProtocol, resp.ID, req.ID))
 	}
 	if resp.Error != "" {
+		if resp.ErrorKind == errorKindUnknownMethod {
+			// Reconstruct the sentinel: the server flattened the error to a
+			// string, the kind tag tells us which typed error it was.
+			return fmt.Errorf("dishrpc: server: %s: %w", resp.Error, ErrUnknownMethod)
+		}
 		return fmt.Errorf("dishrpc: server: %s", resp.Error)
 	}
 	if out != nil {

@@ -149,12 +149,72 @@ func TestUnknownMethod(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.call("bogus", nil); err == nil {
+	err = c.call("bogus", nil)
+	if err == nil {
 		t.Error("unknown method accepted")
+	}
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v, want errors.Is ErrUnknownMethod", err)
 	}
 	// Connection must still work afterwards.
 	if _, err := c.Status(); err != nil {
 		t.Errorf("status after error: %v", err)
+	}
+}
+
+// TestUnknownMethodTypedAcrossWire pins the protocol-skew contract: an
+// unregistered call surfaces as ErrUnknownMethod on the client — across
+// the string-flattening wire encoding — while other server-side errors
+// and transport failures do not. Clients use the distinction to tell an
+// old server (skew) from a dead one (redial).
+func TestUnknownMethodTypedAcrossWire(t *testing.T) {
+	srv, err := NewHandlerServer("127.0.0.1:0", func(method string, _ json.RawMessage) (any, error) {
+		switch method {
+		case "ping":
+			return "ok", nil
+		case "boom":
+			return nil, fmt.Errorf("handler exploded")
+		default:
+			return nil, UnknownMethod(method)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Serve(ctx)
+	t.Cleanup(func() { cancel(); srv.Close() })
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Call("model_info", nil, nil)
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unregistered call = %v, want ErrUnknownMethod", err)
+	}
+	if errors.Is(err, ErrPoisoned) {
+		t.Errorf("unknown method poisoned the connection: %v", err)
+	}
+	// The stream stays in sync: the next call on the same connection
+	// succeeds.
+	if err := c.Call("ping", nil, nil); err != nil {
+		t.Fatalf("call after unknown method: %v", err)
+	}
+	// An ordinary server-side error must NOT read as protocol skew.
+	if err := c.Call("boom", nil, nil); err == nil || errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("handler error = %v, want non-nil and not ErrUnknownMethod", err)
+	}
+	// A transport failure is poison, never skew.
+	srv.Close()
+	err = c.Call("ping", nil, nil)
+	if err == nil || errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("transport failure = %v, want non-nil and not ErrUnknownMethod", err)
+	}
+	if err := c.Call("ping", nil, nil); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("after transport failure = %v, want ErrPoisoned", err)
 	}
 }
 

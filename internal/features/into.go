@@ -1,0 +1,73 @@
+package features
+
+// Zero-allocation variants of Cluster/Vector for the online serving
+// path (internal/predict): the batch entry points allocate a Slot, a
+// key slice, and three moment slices per call, which is fine for
+// training sweeps but would put a model-serving hot loop at the
+// allocator's mercy. ClusterInto reuses the caller's Slot and computes
+// the moments by direct accumulation — the same sums in the same
+// order as stats.MeanStd, so the clusters (and every float) are
+// bit-identical to the batch path.
+
+import (
+	"fmt"
+	"math"
+)
+
+// meanStdSats accumulates one feature's mean and population std
+// straight off the satellite slice, mirroring stats.MeanStd's
+// arithmetic (serial sum for the mean, then a serial sum of squared
+// deviations) so the results match Cluster bit for bit.
+func meanStdSats(sats []Sat, get func(*Sat) float64) (mean, std float64) {
+	s := 0.0
+	for i := range sats {
+		s += get(&sats[i])
+	}
+	mean = s / float64(len(sats))
+	s = 0.0
+	for i := range sats {
+		d := get(&sats[i]) - mean
+		s += d * d
+	}
+	return mean, math.Sqrt(s / float64(len(sats)))
+}
+
+// ClusterInto is Cluster without the allocations: the Slot's key slice
+// is reused (growing its backing array only while the available set
+// does) and the counts are zeroed in place. The populated Slot is
+// bit-identical to Cluster's on the same input.
+func ClusterInto(sl *Slot, sats []Sat) error {
+	if len(sats) == 0 {
+		return fmt.Errorf("features: empty available set")
+	}
+	sl.AzMean, sl.AzStd = meanStdSats(sats, func(s *Sat) float64 { return s.AzimuthDeg })
+	sl.ElMean, sl.ElStd = meanStdSats(sats, func(s *Sat) float64 { return s.ElevationDeg })
+	sl.AgeMean, sl.AgeStd = meanStdSats(sats, func(s *Sat) float64 { return s.AgeYears })
+	sl.Keys = sl.Keys[:0]
+	sl.Counts = [NumClusters]int{}
+	for i := range sats {
+		s := &sats[i]
+		k := Key{
+			AzZ:    clampZ(s.AzimuthDeg, sl.AzMean, sl.AzStd),
+			ElZ:    clampZ(s.ElevationDeg, sl.ElMean, sl.ElStd),
+			AgeZ:   clampZ(s.AgeYears, sl.AgeMean, sl.AgeStd),
+			Sunlit: s.Sunlit,
+		}
+		sl.Keys = append(sl.Keys, k)
+		sl.Counts[k.Index()]++
+	}
+	return nil
+}
+
+// VectorInto renders the model input into caller scratch of length
+// VectorLen — Vector without the per-call allocation.
+func (sl *Slot) VectorInto(localHour int, v []float64) error {
+	if len(v) != VectorLen {
+		return fmt.Errorf("features: vector scratch length %d, want %d", len(v), VectorLen)
+	}
+	v[0] = float64(localHour)
+	for i, c := range sl.Counts {
+		v[1+i] = float64(c)
+	}
+	return nil
+}

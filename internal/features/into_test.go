@@ -1,0 +1,96 @@
+package features
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomSats(rng *rand.Rand, n int) []Sat {
+	sats := make([]Sat, n)
+	for i := range sats {
+		sats[i] = Sat{
+			AzimuthDeg:   rng.Float64() * 360,
+			ElevationDeg: 25 + rng.Float64()*65,
+			AgeYears:     rng.Float64() * 5,
+			Sunlit:       rng.Intn(2) == 0,
+		}
+	}
+	return sats
+}
+
+// TestClusterIntoMatchesCluster: the zero-alloc path must be
+// bit-identical to the batch path — keys, counts, and every moment
+// float — including on degenerate sets (single satellite, zero
+// variance).
+func TestClusterIntoMatchesCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var sl Slot
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		sats := randomSats(rng, n)
+		if trial%7 == 0 {
+			// Zero-variance sets exercise the std==0 collapse.
+			for i := range sats {
+				sats[i].ElevationDeg = 45
+			}
+		}
+		want, err := Cluster(sats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ClusterInto(&sl, sats); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sl.Keys, want.Keys) {
+			t.Fatalf("trial %d: keys differ: %v vs %v", trial, sl.Keys, want.Keys)
+		}
+		if sl.Counts != want.Counts {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		got := [6]float64{sl.AzMean, sl.AzStd, sl.ElMean, sl.ElStd, sl.AgeMean, sl.AgeStd}
+		exp := [6]float64{want.AzMean, want.AzStd, want.ElMean, want.ElStd, want.AgeMean, want.AgeStd}
+		if got != exp {
+			t.Fatalf("trial %d: moments differ: %v vs %v", trial, got, exp)
+		}
+
+		var vec [VectorLen]float64
+		if err := sl.VectorInto(13, vec[:]); err != nil {
+			t.Fatal(err)
+		}
+		if wantVec := want.Vector(13); !reflect.DeepEqual(vec[:], wantVec) {
+			t.Fatalf("trial %d: vectors differ", trial)
+		}
+	}
+	if err := ClusterInto(&sl, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := sl.VectorInto(0, make([]float64, 3)); err == nil {
+		t.Error("short vector scratch accepted")
+	}
+}
+
+// TestClusterIntoZeroAlloc pins the serving-path property the
+// BenchmarkPredictServe acceptance depends on: once the Slot's key
+// slice has grown to the working-set size, ClusterInto and VectorInto
+// allocate nothing.
+func TestClusterIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sats := randomSats(rng, 32)
+	var sl Slot
+	vec := make([]float64, VectorLen)
+	if err := ClusterInto(&sl, sats); err != nil { // warm the key slice
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ClusterInto(&sl, sats); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.VectorInto(7, vec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ClusterInto+VectorInto = %v allocs/op, want 0", allocs)
+	}
+}

@@ -162,6 +162,9 @@ func FitForestCtx(ctx context.Context, d *Dataset, cfg ForestConfig) (*Forest, e
 // NumClasses reports the label-space size the forest was trained on.
 func (f *Forest) NumClasses() int { return f.numClasses }
 
+// NumFeatures reports the input width the forest was trained on.
+func (f *Forest) NumFeatures() int { return f.numFeatures }
+
 // checkWidth validates an input vector once at the forest level; the
 // per-tree descent then runs unchecked (every tree shares numFeatures).
 func (f *Forest) checkWidth(x []float64) error {

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -57,15 +58,41 @@ func (f *Forest) Save(w io.Writer) error {
 	return nil
 }
 
+// ErrModelShape reports a serialized forest whose header does not
+// match the feature schema the caller serves — a model trained against
+// a different feature extraction. Callers that load models for serving
+// (predictd) check with errors.Is and refuse the artifact up front,
+// instead of failing per-prediction at checkWidth time.
+var ErrModelShape = errors.New("ml: model shape mismatch")
+
 // LoadForest reads a forest written by Save and validates its
 // structure.
 func LoadForest(r io.Reader) (*Forest, error) {
+	return LoadForestFor(r, 0, 0)
+}
+
+// LoadForestFor is LoadForest plus a load-time schema gate: the
+// serialized header's format version, feature width, and class count
+// are checked before any tree decodes. wantFeatures/wantClasses of 0
+// skip that dimension (LoadForest's behaviour). A mismatch returns an
+// error wrapping ErrModelShape that names both shapes, so "wrong model
+// file" fails at startup with a clear message rather than surfacing as
+// a per-input width error mid-serve.
+func LoadForestFor(r io.Reader, wantFeatures, wantClasses int) (*Forest, error) {
 	var dto forestDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ml: load forest: %w", err)
 	}
 	if dto.Version != forestVersion {
 		return nil, fmt.Errorf("ml: forest format version %d, want %d", dto.Version, forestVersion)
+	}
+	if wantFeatures > 0 && dto.NumFeatures != wantFeatures {
+		return nil, fmt.Errorf("%w: forest trained on %d features, caller serves %d",
+			ErrModelShape, dto.NumFeatures, wantFeatures)
+	}
+	if wantClasses > 0 && dto.NumClasses != wantClasses {
+		return nil, fmt.Errorf("%w: forest predicts %d classes, caller serves %d",
+			ErrModelShape, dto.NumClasses, wantClasses)
 	}
 	if dto.NumClasses <= 0 || dto.NumFeatures <= 0 || len(dto.Trees) == 0 {
 		return nil, fmt.Errorf("ml: forest header invalid (%d classes, %d features, %d trees)",

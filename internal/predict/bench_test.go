@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// benchService returns a serving service plus a warm query set.
+func benchService(tb testing.TB) (*Service, []features.Sat, *Scratch) {
+	tb.Helper()
+	s, err := NewService(Config{
+		Window: 256, RefitEvery: 1 << 30, MinFit: 128,
+		Trees: 30, MaxDepth: 10, Seed: 4, Synchronous: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	recs := regimeStream(rng, 160, 14, true)
+	for i := range recs {
+		if _, err := s.ObserveRecord(&recs[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if f, _ := s.Model(); f == nil {
+		tb.Fatal("bench service has no model")
+	}
+	sats := make([]features.Sat, len(recs[0].Available))
+	for i, a := range recs[0].Available {
+		sats[i] = satFromObs(a)
+	}
+	sc := NewScratch()
+	if _, err := s.Rank(recs[0].LocalHour, sats, sc); err != nil {
+		tb.Fatal(err)
+	}
+	return s, sats, sc
+}
+
+// BenchmarkPredictServe measures the post-decode serve path —
+// clustering, feature rendering, and full-forest ranking in caller
+// scratch. The acceptance bar is 0 allocs/op.
+func BenchmarkPredictServe(b *testing.B) {
+	s, sats, sc := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Rank(12, sats, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPredictServeZeroAlloc pins the benchmark's alloc bar in the
+// ordinary test run, so a regression fails CI without anyone reading
+// benchmark output.
+func TestPredictServeZeroAlloc(t *testing.T) {
+	s, sats, sc := benchService(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Rank(12, sats, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serve path = %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,38 @@
+package predict
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPredictRequest throws arbitrary bytes at the request codec and
+// dispatch: whatever arrives in a frame, the handler must return a
+// clean error or a marshalable result — never panic, never accept a
+// request that violates the documented limits.
+func FuzzPredictRequest(f *testing.F) {
+	f.Add([]byte(`{"local_hour":12,"sats":[{"az":180,"el":45,"age_years":2,"sunlit":true}],"k":3}`))
+	f.Add([]byte(`{"local_hour":-1,"sats":[]}`))
+	f.Add([]byte(`{"local_hour":23,"sats":[{"el":90}],"chosen_idx":0}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"k":1e9}`))
+	f.Add([]byte(`{"local_hour":5,"sats":[{"az":1}],"chosen_idx":-1}`))
+
+	s, err := NewService(Config{Window: 16, MinFit: 8, RefitEvery: 1 << 30, Trees: 2, MaxDepth: 3, Synchronous: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, method := range []string{"predict", "topk", "observe", "model_info", "stats"} {
+			res, err := s.Handle(method, json.RawMessage(data))
+			if err != nil {
+				continue
+			}
+			// Whatever the handler accepts must survive the framing
+			// layer's marshal.
+			if _, err := json.Marshal(res); err != nil {
+				t.Fatalf("%s accepted a request but returned an unmarshalable result: %v", method, err)
+			}
+		}
+	})
+}

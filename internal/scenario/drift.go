@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/scheduler"
+	"repro/internal/telemetry"
+)
+
+// The drift experiment: run a campaign under the default scheduler
+// weights long enough for an online model to learn the policy, then
+// flip the weights mid-campaign — the operator "pushes a scheduler
+// update" — and keep streaming. A healthy online-inference loop shows
+// three acts: windowed accuracy collapses right after the flip, the
+// drift detector raises its flag within a bounded number of slots, and
+// the forced sliding-window refit re-learns the new policy until the
+// flag clears. It is the online counterpart of the paper's caveat that
+// the §6 model encodes one scheduling policy, not physics.
+
+// FlippedWeights is the adversarial mid-campaign scheduler update:
+// elevation preference and recency swap magnitudes and the sunlit bias
+// collapses, so the policy the model learned inverts while every
+// candidate set stays physically identical.
+func FlippedWeights() scheduler.Weights {
+	w := scheduler.DefaultWeights()
+	w.Elevation, w.Recency = w.Recency, w.Elevation
+	w.Sunlit = 0.2
+	w.Load = 2.5
+	return w
+}
+
+// DriftConfig shapes a RunDrift campaign.
+type DriftConfig struct {
+	// Scale and Seed size the constellation (defaults: Small, 1).
+	Scale experiments.Scale
+	Seed  int64
+	// Slots is the total campaign length; FlipAt is the slot index at
+	// which the scheduler weights change (defaults 600, Slots/2).
+	Slots  int
+	FlipAt int
+	// PostWeights are the weights after the flip (nil = FlippedWeights).
+	PostWeights *scheduler.Weights
+	// Scorer is the online service under test (required). Use a
+	// Synchronous predict.Service for deterministic output, or a
+	// predict.RemoteScorer to drive a live predictd.
+	Scorer pipeline.OnlineScorer
+	// Offline also trains the §6 offline model on the pre-flip
+	// observations (cfg from experiments.QuickModelConfig) so the
+	// stationary online accuracy can be compared against Figure 8.
+	Offline bool
+	// Workers / SnapshotWorkers / Telemetry are passed to both phases'
+	// environments.
+	Workers         int
+	SnapshotWorkers int
+	Telemetry       *telemetry.Registry
+}
+
+// DriftResult summarizes the three acts.
+type DriftResult struct {
+	Slots, FlipAt int
+	// PreTop1/PreTopK are the scorer's windowed accuracies at the flip.
+	PreTop1, PreTopK float64
+	// MinPostTop1 is the windowed top-1 floor after the flip — how far
+	// accuracy fell before retraining caught up.
+	MinPostTop1 float64
+	// FinalTop1 is the windowed top-1 at campaign end.
+	FinalTop1 float64
+	// DetectSlots is how many slots after the flip the drift flag rose
+	// (-1: never); ClearSlots is when it cleared again (-1: never).
+	DetectSlots, ClearSlots int
+	// DriftEvents and Refits are the scorer's totals at campaign end.
+	DriftEvents, Refits int
+	// Scored counts records the scorer actually ranked.
+	Scored int
+	// PreStats/PostStats are the two phases' campaign summaries.
+	PreStats, PostStats *core.CampaignStats
+	// OfflineTop1/OfflineBaselineTop1 compare against the §6 batch
+	// protocol on the pre-flip stream (zero when Offline is false).
+	OfflineTop1, OfflineBaselineTop1 float64
+}
+
+// driftTracker folds ScoreUpdates into the result, counting slots by
+// SlotStart transitions (each slot yields one record per terminal).
+type driftTracker struct {
+	res      *DriftResult
+	sc       pipeline.OnlineScorer
+	lastSlot time.Time
+	slotIdx  int // 0-based within the current phase
+	post     bool
+	sawDrift bool
+}
+
+func (d *driftTracker) sink() pipeline.Sink {
+	return pipeline.ScoreSink(d.sc, d.observe)
+}
+
+func (d *driftTracker) observe(rec *pipeline.Record, up pipeline.ScoreUpdate) {
+	if !rec.SlotStart.Equal(d.lastSlot) {
+		if !d.lastSlot.IsZero() {
+			d.slotIdx++
+		}
+		d.lastSlot = rec.SlotStart
+	}
+	r := d.res
+	if up.Scored {
+		r.Scored++
+	}
+	r.DriftEvents = up.DriftEvents
+	r.Refits = up.Refits
+	if !d.post {
+		r.PreTop1, r.PreTopK = up.RecentTop1, up.RecentTopK
+		return
+	}
+	if up.Scored && up.RecentTop1 < r.MinPostTop1 {
+		r.MinPostTop1 = up.RecentTop1
+	}
+	if up.Drift && !d.sawDrift {
+		d.sawDrift = true
+		r.DetectSlots = d.slotIdx
+	}
+	if d.sawDrift && !up.Drift && r.ClearSlots < 0 {
+		r.ClearSlots = d.slotIdx
+	}
+	r.FinalTop1 = up.RecentTop1
+}
+
+// RunDrift executes the two-phase campaign against cfg.Scorer. Both
+// phases share one constellation (same scale and seed), and phase two
+// starts exactly FlipAt periods after phase one's epoch, so the stream
+// the scorer sees is one continuous campaign whose only discontinuity
+// is the scheduler's weights. (The post-flip scheduler restarts its
+// load/recency bookkeeping — the real analogue is a scheduler redeploy,
+// which also resets in-memory state.)
+func RunDrift(cfg DriftConfig) (*DriftResult, error) {
+	if cfg.Scorer == nil {
+		return nil, fmt.Errorf("scenario: drift needs an online scorer")
+	}
+	if cfg.Scale == "" {
+		cfg.Scale = experiments.Small
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 600
+	}
+	if cfg.FlipAt == 0 {
+		cfg.FlipAt = cfg.Slots / 2
+	}
+	if cfg.FlipAt <= 0 || cfg.FlipAt >= cfg.Slots {
+		return nil, fmt.Errorf("scenario: flip slot %d outside campaign of %d slots", cfg.FlipAt, cfg.Slots)
+	}
+	post := FlippedWeights()
+	if cfg.PostWeights != nil {
+		post = *cfg.PostWeights
+	}
+
+	base := experiments.Config{
+		Scale:           cfg.Scale,
+		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
+		SnapshotWorkers: cfg.SnapshotWorkers,
+		Telemetry:       cfg.Telemetry,
+	}
+	envA, err := experiments.NewEnv(base)
+	if err != nil {
+		return nil, err
+	}
+	postCfg := base
+	postCfg.Weights = post
+	envB, err := experiments.NewEnv(postCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DriftResult{
+		Slots: cfg.Slots, FlipAt: cfg.FlipAt,
+		MinPostTop1: 1, DetectSlots: -1, ClearSlots: -1,
+	}
+	tr := &driftTracker{res: res, sc: cfg.Scorer}
+
+	// Phase one: learn the default policy.
+	collect := &pipeline.CollectObservations{}
+	sinks := []pipeline.Sink{tr.sink()}
+	if cfg.Offline {
+		sinks = append(sinks, collect)
+	}
+	res.PreStats, err = envA.StreamObservations(cfg.FlipAt, sinks...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: drift pre-flip phase: %w", err)
+	}
+
+	// Phase two: same constellation, same clock, new weights. Slot
+	// counting restarts at the flip boundary.
+	tr.post = true
+	tr.lastSlot = time.Time{}
+	tr.slotIdx = 0
+	src := &pipeline.Campaign{Config: core.CampaignConfig{
+		Scheduler:  envB.Sched,
+		Identifier: envB.Ident,
+		Start:      envA.Start().Add(time.Duration(cfg.FlipAt) * scheduler.Period),
+		Slots:      cfg.Slots - cfg.FlipAt,
+		Oracle:     true,
+		Workers:    envB.Workers,
+		Metrics:    envB.Metrics,
+		Snapshots:  envB.Snaps,
+	}}
+	p := &pipeline.Pipeline{
+		Source:  src,
+		Stages:  []pipeline.Stage{pipeline.ChosenOnly()},
+		Sinks:   []pipeline.Sink{tr.sink()},
+		Metrics: pipeline.NewMetrics(cfg.Telemetry),
+	}
+	if err := p.Run(context.Background()); err != nil {
+		return nil, fmt.Errorf("scenario: drift post-flip phase: %w", err)
+	}
+	res.PostStats = src.Stats
+
+	if cfg.Offline {
+		mres, err := envA.Fig8(collect.Obs, experiments.QuickModelConfig(cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: drift offline comparison: %w", err)
+		}
+		res.OfflineTop1 = mres.ModelTopK[0]
+		res.OfflineBaselineTop1 = mres.BaselineTopK[0]
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+// TestRunDrift walks the full adversarial arc against a synchronous
+// in-process predict service: stationary accuracy in act one, a
+// visible collapse and a bounded-latency drift flag in act two,
+// recovery by forced refit in act three — plus the offline §6
+// cross-check on the stationary phase.
+func TestRunDrift(t *testing.T) {
+	svc, err := predict.NewService(predict.Config{
+		Window: 512, RefitEvery: 128, MinFit: 256,
+		Trees: 20, MaxDepth: 10, Seed: 7, Workers: 4,
+		TopK: 5, AccWindow: 64, RefWindow: 256, DriftDrop: 0.15,
+		Synchronous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDrift(DriftConfig{
+		Seed: 3, Slots: 600, FlipAt: 300,
+		Scorer:  svc,
+		Offline: true,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drift result: %+v", res)
+
+	// Act one: the model learned the stationary policy.
+	if res.PreTop1 < 0.3 {
+		t.Errorf("pre-flip recent top-1 = %v, model never learned the default policy", res.PreTop1)
+	}
+	if res.Refits < 2 {
+		t.Errorf("refits = %d, want >= 2 over 600 slots", res.Refits)
+	}
+
+	// Act two: the flip is visible and detected within bounded slots.
+	if drop := res.PreTop1 - res.MinPostTop1; drop < 0.15 {
+		t.Errorf("windowed top-1 dropped only %v after the weight flip (pre %v, floor %v)",
+			drop, res.PreTop1, res.MinPostTop1)
+	}
+	if res.DetectSlots < 0 {
+		t.Fatal("drift flag never fired after the weight flip")
+	}
+	if res.DetectSlots > 150 {
+		t.Errorf("drift detected %d slots after the flip, want bounded by ~2 reference windows (150)", res.DetectSlots)
+	}
+	if res.DriftEvents < 1 {
+		t.Errorf("drift events = %d, want >= 1", res.DriftEvents)
+	}
+
+	// Act three: retraining on the new regime recovers accuracy.
+	if res.FinalTop1 <= res.MinPostTop1 {
+		t.Errorf("final top-1 %v never recovered above the post-flip floor %v", res.FinalTop1, res.MinPostTop1)
+	}
+	if res.ClearSlots < 0 {
+		t.Error("drift flag never cleared after retraining")
+	}
+
+	// Offline §6 cross-check: the online stationary accuracy should sit
+	// near the batch-protocol holdout figure, and the batch model still
+	// beats the baseline.
+	if res.OfflineTop1 <= res.OfflineBaselineTop1 {
+		t.Errorf("offline model top-1 %v <= baseline %v", res.OfflineTop1, res.OfflineBaselineTop1)
+	}
+	if diff := math.Abs(res.OfflineTop1 - res.PreTop1); diff > 0.2 {
+		t.Errorf("online stationary top-1 %v vs offline %v: gap %v exceeds tolerance 0.2",
+			res.PreTop1, res.OfflineTop1, diff)
+	}
+}
+
+// TestRunDriftValidation covers the config gates.
+func TestRunDriftValidation(t *testing.T) {
+	if _, err := RunDrift(DriftConfig{}); err == nil {
+		t.Error("nil scorer accepted")
+	}
+	svc, err := predict.NewService(predict.Config{Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDrift(DriftConfig{Scorer: svc, Slots: 10, FlipAt: 10}); err == nil {
+		t.Error("flip at campaign end accepted")
+	}
+}

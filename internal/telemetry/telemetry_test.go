@@ -64,6 +64,35 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	// 10 observations in bucket (0,1], 10 in (1,2]: the median sits on
+	// the first bucket's upper edge, p75 halfway through the second.
+	hs := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{10, 10, 0, 0},
+		Count:  20,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 1.0},
+		{0.75, 1.5},
+		{0.25, 0.5},
+		{1.0, 2.0},
+	}
+	for _, c := range cases {
+		if got := hs.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow ranks clamp to the last finite bound.
+	over := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{1, 0, 3}, Count: 4}
+	if got := over.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
 func TestHistogramDefaultBounds(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", "latency", nil)

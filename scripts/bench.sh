@@ -28,6 +28,12 @@
 # sweep always runs at -benchtime=2x — each iteration is a whole
 # campaign, and the 100k-terminal variants take minutes each.
 #
+# PR10 adds the online-inference serve benchmark
+# (BenchmarkPredictServe, BENCH_PR10.json): one Rank call against a
+# warm forest through the pooled scratch — ClusterInto, VectorInto,
+# RankClassesInto. Acceptance: 0 allocs/op; the serve path must never
+# pressure the campaign workers' allocator.
+#
 # PR8 adds the snapshot-engine benchmarks (BENCH_PR8.json):
 # BenchmarkSnapshot fresh/warm (warm must report 0 allocs/op — the
 # pooled steady state), BenchmarkSnapshotParallel at 2/4/8 workers
@@ -61,6 +67,8 @@ trap 'rm -f "$tmp"' EXIT
     go test . -run='^$' -bench='^BenchmarkSchedulerAllocate$' \
         -benchmem -benchtime="$benchtime"
     go test ./internal/telemetry -run='^$' -bench=. \
+        -benchmem -benchtime="$benchtime"
+    go test ./internal/predict -run='^$' -bench='^BenchmarkPredictServe$' \
         -benchmem -benchtime="$benchtime"
 } | tee "$tmp" >&2
 

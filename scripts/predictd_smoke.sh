@@ -1,0 +1,90 @@
+#!/bin/sh
+# End-to-end smoke for the online-inference service: start a predictd
+# process, stream a short drift campaign at it over dishrpc
+# (`repro drift -predict-addr`), and assert that
+#
+#   1. the drift experiment PASSes: windowed accuracy visibly drops at
+#      the mid-campaign weight flip, the drift flag fires within a
+#      bounded number of slots, and retraining recovers it;
+#   2. the service's stationary top-1 accuracy beats the
+#      most-populated-cluster baseline (the §6 bar, checked against the
+#      offline golden run's printed baseline figure);
+#   3. /metrics exposes the predict_* family, with
+#      predict_requests_total counting the campaign's RPCs.
+#
+# Usage: scripts/predictd_smoke.sh [path-to-repro] [path-to-predictd]
+set -eu
+
+repro=${1:-./repro}
+predictd=${2:-./predictd}
+scale=${SCALE:-small}
+seed=${SEED:-3}
+slots=${SLOTS:-600}
+rpc_addr=${RPC_ADDR:-127.0.0.1:9461}
+metrics_addr=${METRICS_ADDR:-127.0.0.1:9462}
+
+work=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+if [ ! -x "$repro" ]; then
+    echo "predictd_smoke: building repro..." >&2
+    go build -o "$work/repro" ./cmd/repro
+    repro=$work/repro
+fi
+if [ ! -x "$predictd" ]; then
+    echo "predictd_smoke: building predictd..." >&2
+    go build -o "$work/predictd" ./cmd/predictd
+    predictd=$work/predictd
+fi
+
+# The offline golden: the same drift campaign with an in-process
+# scorer. Its offline §6 cross-check line carries the baseline top-1
+# the daemon's accuracy must beat, and -sync on both sides makes the
+# two runs' windowed accuracies directly comparable.
+"$repro" -scale "$scale" -seed "$seed" -slots "$slots" drift > "$work/golden.log"
+grep -q 'drift experiment: PASS' "$work/golden.log" || {
+    echo "predictd_smoke: in-process golden run failed"; cat "$work/golden.log"; exit 1; }
+baseline=$(awk -F'baseline ' '/offline §6 cross-check/{sub(/%.*/, "", $2); print $2}' "$work/golden.log")
+[ -n "$baseline" ] || { echo "predictd_smoke: no baseline figure"; cat "$work/golden.log"; exit 1; }
+
+"$predictd" -listen "$rpc_addr" -telemetry-addr "$metrics_addr" \
+    -window 512 -refit-every 128 -min-fit 256 -trees 20 -seed "$seed" -sync \
+    > "$work/predictd.log" 2>&1 &
+pids=$!
+ok=
+for _ in $(seq 1 50); do
+    if grep -q 'serving dishrpc' "$work/predictd.log"; then ok=1; break; fi
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "predictd_smoke: predictd never came up"; cat "$work/predictd.log"; exit 1; }
+
+"$repro" -scale "$scale" -seed "$seed" -slots "$slots" \
+    -predict-addr "$rpc_addr" drift > "$work/drift.log"
+cat "$work/drift.log" >&2
+
+grep -q 'drift experiment: PASS' "$work/drift.log" || {
+    echo "predictd_smoke: drift experiment FAILED against predictd"; exit 1; }
+
+# Accuracy bar: stationary windowed top-1 over the wire must beat the
+# offline baseline.
+top1=$(awk -F'top-1 ' '/^stationary:/{sub(/%.*/, "", $2); print $2}' "$work/drift.log")
+[ -n "$top1" ] || { echo "predictd_smoke: no stationary top-1 figure"; exit 1; }
+awk -v a="$top1" -v b="$baseline" 'BEGIN { exit !(a > b) }' || {
+    echo "predictd_smoke: stationary top-1 $top1% does not beat baseline $baseline%"; exit 1; }
+
+curl -sf "http://$metrics_addr/metrics" -o "$work/metrics.txt"
+grep -Eq '^predict_requests_total [1-9][0-9]*$' "$work/metrics.txt" || {
+    echo "predictd_smoke: predict_requests_total missing from /metrics"
+    grep '^predict' "$work/metrics.txt" || true
+    exit 1; }
+grep -q '^predict_drift_events_total ' "$work/metrics.txt"
+grep -q '^predict_refits_total ' "$work/metrics.txt"
+grep -q '^predict_recent_top1 ' "$work/metrics.txt"
+
+requests=$(awk '/^predict_requests_total /{print $2}' "$work/metrics.txt")
+echo "predictd_smoke: PASS — top-1 $top1% > baseline $baseline%, $requests RPCs served" >&2
